@@ -1,0 +1,26 @@
+"""Table I: software/hardware configuration of the two machines.
+
+The paper's Table I lists MPI/compiler/BLAS versions on Hawk and Seawulf;
+the simulator equivalent is the calibrated machine model each experiment
+runs on.  This bench prints that table and sanity-checks the presets.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import table1_configs
+from repro.bench.harness import print_table
+
+
+def test_table1_machine_configs(benchmark):
+    rows = run_once(benchmark, table1_configs)
+    columns = list(rows[0].keys())
+    print_table(
+        "Table I: simulated machine configurations",
+        columns,
+        [[r[c] for c in columns] for r in rows],
+    )
+    by_name = {r["machine"]: r for r in rows}
+    # Hawk: more cores per node and a faster fabric than Seawulf.
+    assert by_name["hawk"]["workers/node"] > by_name["seawulf"]["workers/node"]
+    assert by_name["hawk"]["net GB/s"] > by_name["seawulf"]["net GB/s"]
+    assert by_name["hawk"]["latency us"] < by_name["seawulf"]["latency us"]

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Multiresolution analysis in TTG (paper III-E).
+
+Adaptively projects a batch of sharp 3-D Gaussians into an order-k
+multiwavelet basis, compresses (fast wavelet transform with 2^d-sized
+streaming terminals), reconstructs, and verifies the computed norms
+against the analytic Gaussian-overlap values -- the whole pipeline
+streaming through one barrier-free TTG.
+
+Run: python examples/mra_example.py
+"""
+
+import math
+
+from repro.apps.mra import mra_ttg, random_gaussians
+from repro.baselines import madness_mra
+from repro.runtime import MadnessBackend, ParsecBackend
+from repro.sim import Cluster, HAWK
+
+
+def main() -> None:
+    funcs = random_gaussians(6, d=3, exponent=300.0, seed=1)
+    nodes, k, thresh = 4, 4, 1e-6
+
+    print(f"{len(funcs)} 3-D Gaussians, multiwavelet order k={k}, "
+          f"threshold {thresh:g}, {nodes} nodes")
+    res = mra_ttg(funcs, ParsecBackend(Cluster(HAWK, nodes)),
+                  k=k, thresh=thresh, max_level=8, initial_level=1)
+    print(f"adaptive trees: {res.total_nodes} leaves total, "
+          f"t={res.makespan*1e3:.3f} ms")
+    print(f"{'fid':>3}  {'leaves':>6}  {'depth':>5}  "
+          f"{'norm (TTG)':>12}  {'norm (analytic)':>15}  rel.err")
+    for fid, f in enumerate(funcs):
+        leaves = res.leaves[fid]
+        depth = max(b[0] for b in leaves)
+        analytic = f.norm2_analytic()
+        rel = abs(res.norms[fid] - analytic) / analytic
+        print(f"{fid:3d}  {len(leaves):6d}  {depth:5d}  "
+              f"{math.sqrt(res.norms[fid]):12.8f}  "
+              f"{math.sqrt(analytic):15.8f}  {rel:.1e}")
+        assert rel < 1e-4
+
+    # Backend and native-MADNESS comparison on the same workload.
+    t_m = mra_ttg(funcs, MadnessBackend(Cluster(HAWK, nodes)),
+                  k=k, thresh=thresh, max_level=8, initial_level=1).makespan
+    t_n = madness_mra(Cluster(HAWK, nodes), funcs, k=k, thresh=thresh,
+                      max_level=8, initial_level=1).makespan
+    print(f"\nvirtual time: ttg/parsec {res.makespan*1e3:.3f} ms | "
+          f"ttg/madness {t_m*1e3:.3f} ms | native madness {t_n*1e3:.3f} ms")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

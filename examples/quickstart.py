@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: build and run a small Template Task Graph.
+
+This is the "hello flowgraph" of the library: three template tasks
+connected by typed edges, including a broadcast and a streaming terminal
+with an input reducer (the feature of paper Listing 3), executed on a
+4-node virtual cluster with the PaRSEC-like backend.
+
+Run: python examples/quickstart.py
+"""
+
+from repro import core as ttg
+from repro.runtime import ParsecBackend
+from repro.sim import Cluster, HAWK
+
+
+def main() -> None:
+    cluster = Cluster(HAWK, nnodes=4)
+    backend = ParsecBackend(cluster)
+
+    # Edges are typed conduits; messages are (task ID, data) pairs.
+    numbers = ttg.Edge("numbers", key_type=int, value_type=int)
+    squares = ttg.Edge("squares", key_type=int, value_type=int)
+    results = {}
+
+    # A generator task: sends each input on, keyed by value.
+    def generate(key, outs):
+        outs.send(0, key, key * key)
+
+    # A fan-out task: broadcasts its square to four reducer instances.
+    def spread(key, square, outs):
+        outs.broadcast(0, [0, 1, 2, 3], square)
+
+    # A reducer with a streaming terminal: sums 8 incoming squares.
+    def collect(key, total, outs):
+        results[key] = total
+
+    gen = ttg.make_tt(generate, [], [numbers], name="GEN",
+                      keymap=lambda k: k % 4)
+    fan = ttg.make_tt(spread, [numbers], [squares], name="FAN",
+                      keymap=lambda k: (k + 1) % 4)
+    red = ttg.make_tt(collect, [squares], [], name="REDUCE",
+                      keymap=lambda k: k % 4)
+    red.set_input_reducer(0, lambda a, b: a + b, size=8)
+
+    graph = ttg.TaskGraph([gen, fan, red], name="quickstart")
+    print(graph.to_dot())
+
+    ex = graph.executable(backend)
+    for k in range(8):
+        ex.invoke(gen, k)  # seed the flow (the INITIATOR pattern)
+    makespan = ex.fence()
+
+    expected = sum(k * k for k in range(8))
+    print(f"\nreduced sums per rank-key: {dict(sorted(results.items()))}")
+    assert all(v == expected for v in results.values())
+    print(f"virtual makespan: {makespan * 1e6:.1f} us")
+    print(f"tasks executed:   {dict(ex.task_counts)}")
+    print(f"remote messages:  {backend.stats.remote_messages}")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP-517 editable installs (``pip install -e .``) cannot build a wheel.
+``python setup.py develop`` installs an egg-link directly and is the
+supported offline path; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

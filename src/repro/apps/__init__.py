@@ -1,0 +1,7 @@
+"""The four paradigmatic applications of the paper (Section III):
+
+- :mod:`repro.apps.cholesky` -- dense tiled Cholesky factorization (III-B).
+- :mod:`repro.apps.floydwarshall` -- tiled FW all-pairs shortest path (III-C).
+- :mod:`repro.apps.bspmm` -- block-sparse 2-D SUMMA GEMM (III-D).
+- :mod:`repro.apps.mra` -- adaptive multiresolution analysis (III-E).
+"""

@@ -1,0 +1,21 @@
+"""Block-sparse 2-D SUMMA matrix multiply in TTG (paper III-D, Fig. 10)."""
+
+from repro.apps.bspmm.structure import BspmmPlan
+from repro.apps.bspmm.graph import build_bspmm_graph
+from repro.apps.bspmm.driver import bspmm_ttg, dense_gemm_ttg, BspmmResult
+from repro.apps.bspmm.summa25 import (
+    Bspmm25Plan,
+    bspmm_ttg_25d,
+    choose_replication,
+)
+
+__all__ = [
+    "BspmmPlan",
+    "build_bspmm_graph",
+    "bspmm_ttg",
+    "dense_gemm_ttg",
+    "BspmmResult",
+    "Bspmm25Plan",
+    "bspmm_ttg_25d",
+    "choose_replication",
+]

@@ -1,0 +1,262 @@
+"""The BSPMM template task graph (paper Fig. 10).
+
+Pipeline per side (A shown; B symmetric)::
+
+    ReadGate --go--> ReadSpA --tile--> BcastA --tile--> LStoreA
+        ^                                                  |   \\
+        |                     (control, step k+read_window)/    tile
+        +--------------------------------------------------     v
+    Coordinator --token--> LBcastA --tile (local)--> MultiplyAdd
+        ^                                                |
+        +---- completion control (step k+window) --------+
+
+Two feedback loops, both built on streaming terminals (II-B):
+
+1. LStoreA/B -> ReadGate: limits how many SUMMA steps' worth of tile
+   communication are in flight (``read_window``).
+2. MultiplyAdd -> Coordinator -> LBcastA/B: holds back local broadcasts
+   until enough earlier multiply-adds completed (``window``), focusing the
+   scheduler on a subset of GEMMs that share data.
+
+The C tiles flow through per-(i,j) multiply-add chains (owner-computes on
+the C block's rank) and land in WRITE_C.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro import core as ttg
+from repro.apps.bspmm.structure import BspmmPlan
+from repro.core.messaging import TaskOutputs
+from repro.linalg.blocksparse import BlockSparseMatrix
+from repro.linalg.kernels import effective_flops, gemm_accumulate, gemm_flops
+from repro.linalg.tile import MatrixTile
+
+
+def build_bspmm_graph(
+    a: BlockSparseMatrix,
+    b: BlockSparseMatrix,
+    c_out: BlockSparseMatrix,
+    plan: BspmmPlan,
+    *,
+    window: int = 2,
+    read_window: int = 4,
+) -> Tuple[ttg.TaskGraph, Dict[str, ttg.TemplateTask]]:
+    """Build the BSPMM TTG.  Returns (graph, {name: template})."""
+    if window < 1 or read_window < 1:
+        raise ValueError("feedback windows must be >= 1")
+    dist = plan.dist
+    nsteps = plan.nsteps
+    synthetic = any(t.is_synthetic for _, t in a.blocks())
+
+    # --------------------------------------------------------------- edges
+    T, V = tuple, MatrixTile
+    gate_a = ttg.Edge("gate_a", key_type=T)
+    gate_b = ttg.Edge("gate_b", key_type=T)
+    read_a = ttg.Edge("read_a", key_type=T, value_type=V)
+    read_b = ttg.Edge("read_b", key_type=T, value_type=V)
+    bcast_a = ttg.Edge("bcast_a", key_type=T, value_type=V)
+    bcast_b = ttg.Edge("bcast_b", key_type=T, value_type=V)
+    store_lb_a = ttg.Edge("store_lb_a", key_type=T, value_type=V)
+    store_lb_b = ttg.Edge("store_lb_b", key_type=T, value_type=V)
+    store_gate = ttg.Edge("store_gate", key_type=int)
+    token_a = ttg.Edge("token_a", key_type=T)
+    token_b = ttg.Edge("token_b", key_type=T)
+    lb_ma_a = ttg.Edge("lb_ma_a", key_type=T, value_type=V)
+    lb_ma_b = ttg.Edge("lb_ma_b", key_type=T, value_type=V)
+    c_chain = ttg.Edge("c_chain", key_type=T, value_type=V)
+    ma_write = ttg.Edge("ma_write", key_type=T, value_type=V)
+    gemm_done = ttg.Edge("gemm_done", key_type=T)
+
+    # -------------------------------------------------------------- bodies
+
+    def read_gate_body(k: int, _acc, outs: TaskOutputs) -> None:
+        """Open SUMMA step ``k`` for reading: wake every ReadSp task."""
+        outs.broadcast("ga", plan.a_tiles_of_step(k))
+        outs.broadcast("gb", plan.b_tiles_of_step(k))
+
+    def read_a_body(key: Tuple[int, int], _go, outs: TaskOutputs) -> None:
+        i, k = key
+        tile = a.block(i, k)
+        outs.send(0, key, tile, mode="cref")
+
+    def read_b_body(key: Tuple[int, int], _go, outs: TaskOutputs) -> None:
+        k, j = key
+        tile = b.block(k, j)
+        outs.send(0, key, tile, mode="cref")
+
+    def bcast_a_body(key: Tuple[int, int], tile: MatrixTile, outs: TaskOutputs) -> None:
+        i, k = key
+        outs.broadcast(0, [(r, i, k) for r in plan.a_dests[key]], tile, mode="cref")
+
+    def bcast_b_body(key: Tuple[int, int], tile: MatrixTile, outs: TaskOutputs) -> None:
+        k, j = key
+        outs.broadcast(0, [(r, k, j) for r in plan.b_dests[key]], tile, mode="cref")
+
+    def store_a_body(key: Tuple[int, int, int], tile: MatrixTile, outs: TaskOutputs) -> None:
+        r, i, k = key
+        outs.send(0, key, tile, mode="cref")
+        if k + read_window < nsteps:
+            outs.send(1, k + read_window)
+
+    def store_b_body(key: Tuple[int, int, int], tile: MatrixTile, outs: TaskOutputs) -> None:
+        r, k, j = key
+        outs.send(0, key, tile, mode="cref")
+        if k + read_window < nsteps:
+            outs.send(1, k + read_window)
+
+    def lbcast_a_body(
+        key: Tuple[int, int, int], tile: MatrixTile, _token, outs: TaskOutputs
+    ) -> None:
+        outs.broadcast(0, plan.a_local_use[key], tile, mode="cref")
+
+    def lbcast_b_body(
+        key: Tuple[int, int, int], tile: MatrixTile, _token, outs: TaskOutputs
+    ) -> None:
+        outs.broadcast(0, plan.b_local_use[key], tile, mode="cref")
+
+    # Index the local-broadcast keys by (rank, step) once; the coordinator
+    # bodies look them up per task.
+    lb_a_by_rs: Dict[Tuple[int, int], List[Tuple[int, int, int]]] = {}
+    for (r, i, k) in plan.a_local_use:
+        lb_a_by_rs.setdefault((r, k), []).append((r, i, k))
+    lb_b_by_rs: Dict[Tuple[int, int], List[Tuple[int, int, int]]] = {}
+    for (r, k, j) in plan.b_local_use:
+        lb_b_by_rs.setdefault((r, k), []).append((r, k, j))
+
+    def coordinator_body(key: Tuple[int, int], _acc, outs: TaskOutputs) -> None:
+        """Release the local broadcasts of step k on rank r."""
+        a_keys = lb_a_by_rs.get(key, ())
+        b_keys = lb_b_by_rs.get(key, ())
+        if a_keys:
+            outs.broadcast("ta", a_keys)
+        if b_keys:
+            outs.broadcast("tb", b_keys)
+
+    def cinit_body(rank: int, outs: TaskOutputs) -> None:
+        """Seed the C accumulation chains owned by this rank."""
+        for (i, j), ks in plan.chains.items():
+            if dist.rank_of(i, j) != rank:
+                continue
+            rows = a.row_tiling.sizes[i]
+            cols = b.col_tiling.sizes[j]
+            tile = (
+                MatrixTile.synthetic(rows, cols)
+                if synthetic
+                else MatrixTile.zeros(rows, cols)
+            )
+            outs.send(0, (i, j, ks[0]), tile, mode="move")
+
+    def multiply_add_body(
+        key: Tuple[int, int, int],
+        atile: MatrixTile,
+        btile: MatrixTile,
+        ctile: MatrixTile,
+        outs: TaskOutputs,
+    ) -> None:
+        i, j, k = key
+        gemm_accumulate(atile, btile, ctile)
+        pos, length = plan.chain_pos(i, j, k)
+        if pos + 1 == length:
+            outs.send("w", (i, j), ctile, mode="move")
+        else:
+            outs.send("c", (i, j, plan.chains[(i, j)][pos + 1]), ctile, mode="move")
+        if k + window < nsteps:
+            r = dist.rank_of(i, j)
+            outs.send("done", (r, k + window))
+
+    def write_c_body(key: Tuple[int, int], tile: MatrixTile, outs: TaskOutputs) -> None:
+        c_out.set_block(key[0], key[1], tile)
+
+    # ------------------------------------------------------------ templates
+
+    none_reducer = lambda acc, x: None
+
+    read_gate = ttg.make_tt(
+        read_gate_body,
+        [store_gate],
+        [gate_a, gate_b],
+        name="READ_GATE",
+        keymap=lambda k: k % dist.nranks,
+        output_names=["ga", "gb"],
+    )
+    read_gate.set_input_reducer(0, none_reducer)  # dynamic size, set by driver
+
+    read_sp_a = ttg.make_tt(
+        read_a_body, [gate_a], [read_a], name="READ_SP_A",
+        keymap=lambda key: dist.rank_of(key[0], key[1]),
+        cost=lambda key, _g: (0.0, a.block(key[0], key[1]).nbytes),
+    )
+    read_sp_b = ttg.make_tt(
+        read_b_body, [gate_b], [read_b], name="READ_SP_B",
+        keymap=lambda key: dist.rank_of(key[0], key[1]),
+        cost=lambda key, _g: (0.0, b.block(key[0], key[1]).nbytes),
+    )
+    bcast_a_tt = ttg.make_tt(
+        bcast_a_body, [read_a], [bcast_a], name="BCAST_A",
+        keymap=lambda key: dist.rank_of(key[0], key[1]),
+    )
+    bcast_b_tt = ttg.make_tt(
+        bcast_b_body, [read_b], [bcast_b], name="BCAST_B",
+        keymap=lambda key: dist.rank_of(key[0], key[1]),
+    )
+    lstore_a = ttg.make_tt(
+        store_a_body, [bcast_a], [store_lb_a, store_gate], name="LSTORE_A",
+        keymap=lambda key: key[0],
+    )
+    lstore_b = ttg.make_tt(
+        store_b_body, [bcast_b], [store_lb_b, store_gate], name="LSTORE_B",
+        keymap=lambda key: key[0],
+    )
+    lbcast_a = ttg.make_tt(
+        lbcast_a_body, [store_lb_a, token_a], [lb_ma_a], name="LBCAST_A",
+        keymap=lambda key: key[0],
+    )
+    lbcast_b = ttg.make_tt(
+        lbcast_b_body, [store_lb_b, token_b], [lb_ma_b], name="LBCAST_B",
+        keymap=lambda key: key[0],
+    )
+    coordinator = ttg.make_tt(
+        coordinator_body, [gemm_done], [token_a, token_b], name="COORDINATOR",
+        keymap=lambda key: key[0],
+        output_names=["ta", "tb"],
+    )
+    coordinator.set_input_reducer(0, none_reducer)  # dynamic size, set by driver
+    cinit = ttg.make_tt(
+        cinit_body, [], [c_chain], name="C_INIT", keymap=lambda r: r,
+    )
+    multiply_add = ttg.make_tt(
+        multiply_add_body,
+        [lb_ma_a, lb_ma_b, c_chain],
+        [c_chain, ma_write, gemm_done],
+        name="MULTIPLY_ADD",
+        keymap=lambda key: dist.rank_of(key[0], key[1]),
+        priomap=lambda key: 1_000_000 - 1_000 * key[2],
+        cost=lambda key, at, bt, ct: effective_flops(
+            gemm_flops(at.rows, bt.cols, at.cols), min(at.rows, bt.cols, at.cols)
+        ),
+        output_names=["c", "w", "done"],
+    )
+    write_c = ttg.make_tt(
+        write_c_body, [ma_write], [], name="WRITE_C",
+        keymap=lambda key: dist.rank_of(key[0], key[1]),
+    )
+
+    tts = {
+        "read_gate": read_gate,
+        "read_sp_a": read_sp_a,
+        "read_sp_b": read_sp_b,
+        "bcast_a": bcast_a_tt,
+        "bcast_b": bcast_b_tt,
+        "lstore_a": lstore_a,
+        "lstore_b": lstore_b,
+        "lbcast_a": lbcast_a,
+        "lbcast_b": lbcast_b,
+        "coordinator": coordinator,
+        "cinit": cinit,
+        "multiply_add": multiply_add,
+        "write_c": write_c,
+    }
+    graph = ttg.TaskGraph(list(tts.values()), name="bspmm")
+    return graph, tts

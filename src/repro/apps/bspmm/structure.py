@@ -1,0 +1,114 @@
+"""Sparsity analysis for block-sparse SUMMA.
+
+BSPMM is irregular: the DAG of tasks depends on each input problem (paper
+III-D).  :class:`BspmmPlan` precomputes, from the block structures of A and
+B, exactly which multiply-add tasks exist, which ranks need which tiles,
+and the per-step counts the feedback loops (read gate, coordinator) key
+their stream sizes on.  This mirrors what the C++ implementation derives
+from the tile norms before injecting work.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.linalg.blocksparse import BlockSparseMatrix
+from repro.linalg.tiled_matrix import BlockCyclicDistribution
+
+
+@dataclass
+class BspmmPlan:
+    """Static structure of one block-sparse product C = A @ B.
+
+    SUMMA steps are indexed by the contraction tile index ``k``.  All maps
+    refer to *block* indices; ``dist`` owns the C blocks (2-D block-cyclic
+    over the process grid) and, by convention, also tiles of A and B.
+    """
+
+    dist: BlockCyclicDistribution
+    nsteps: int
+    # gemm chains: (i, j) -> ordered list of contraction indices k
+    chains: Dict[Tuple[int, int], List[int]] = field(default_factory=dict)
+    # ranks that need A(i,k) / B(k,j) (owners of the C blocks involved)
+    a_dests: Dict[Tuple[int, int], List[int]] = field(default_factory=dict)
+    b_dests: Dict[Tuple[int, int], List[int]] = field(default_factory=dict)
+    # per rank r and step k: which A/B tiles are consumed and by which gemms
+    a_local_use: Dict[Tuple[int, int, int], List[Tuple[int, int, int]]] = field(
+        default_factory=dict
+    )
+    b_local_use: Dict[Tuple[int, int, int], List[Tuple[int, int, int]]] = field(
+        default_factory=dict
+    )
+    # per step: total LStore tasks (A-side + B-side), for the read gate
+    stores_per_step: Dict[int, int] = field(default_factory=dict)
+    # per (rank, step): number of multiply-adds, for the coordinator
+    gemms_per_rank_step: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    total_flops: float = 0.0
+
+    @classmethod
+    def build(
+        cls,
+        a: BlockSparseMatrix,
+        b: BlockSparseMatrix,
+        dist: BlockCyclicDistribution,
+    ) -> "BspmmPlan":
+        if a.col_tiling.sizes != b.row_tiling.sizes:
+            raise ValueError("inner tilings of A and B do not match")
+        plan = cls(dist=dist, nsteps=a.col_tiling.nblocks)
+
+        # Index the sparsity: rows of A per k, cols of B per k.
+        a_rows_by_k: Dict[int, List[int]] = defaultdict(list)
+        for (i, k) in a.block_keys():
+            a_rows_by_k[k].append(i)
+        b_cols_by_k: Dict[int, List[int]] = defaultdict(list)
+        for (k, j) in b.block_keys():
+            b_cols_by_k[k].append(j)
+
+        chains: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        a_dest_sets: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+        b_dest_sets: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+
+        for k in range(plan.nsteps):
+            for i in a_rows_by_k.get(k, ()):
+                mi = a.row_tiling.sizes[i]
+                kk = a.col_tiling.sizes[k]
+                for j in b_cols_by_k.get(k, ()):
+                    nj = b.col_tiling.sizes[j]
+                    r = dist.rank_of(i, j)
+                    chains[(i, j)].append(k)
+                    a_dest_sets[(i, k)].add(r)
+                    b_dest_sets[(k, j)].add(r)
+                    plan.a_local_use.setdefault((r, i, k), []).append((i, j, k))
+                    plan.b_local_use.setdefault((r, k, j), []).append((i, j, k))
+                    plan.gemms_per_rank_step[(r, k)] = (
+                        plan.gemms_per_rank_step.get((r, k), 0) + 1
+                    )
+                    plan.total_flops += 2.0 * mi * nj * kk
+
+        plan.chains = {ij: sorted(ks) for ij, ks in chains.items()}
+        plan.a_dests = {ik: sorted(rs) for ik, rs in a_dest_sets.items()}
+        plan.b_dests = {kj: sorted(rs) for kj, rs in b_dest_sets.items()}
+        for k in range(plan.nsteps):
+            plan.stores_per_step[k] = sum(
+                len(rs) for (i, kk), rs in plan.a_dests.items() if kk == k
+            ) + sum(len(rs) for (kk, j), rs in plan.b_dests.items() if kk == k)
+        return plan
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def num_gemms(self) -> int:
+        return sum(len(ks) for ks in self.chains.values())
+
+    def chain_pos(self, i: int, j: int, k: int) -> Tuple[int, int]:
+        """(index of k in the (i,j) chain, chain length)."""
+        ks = self.chains[(i, j)]
+        return ks.index(k), len(ks)
+
+    def a_tiles_of_step(self, k: int) -> List[Tuple[int, int]]:
+        return sorted(ik for ik in self.a_dests if ik[1] == k)
+
+    def b_tiles_of_step(self, k: int) -> List[Tuple[int, int]]:
+        return sorted(kj for kj in self.b_dests if kj[0] == k)

@@ -1,0 +1,291 @@
+"""2.5D block-sparse SUMMA in TTG — the paper's future-work hypothesis.
+
+Section III-D closes with: *"We expect that by converting the current 2D
+SUMMA TTG implementation to 2.5D SUMMA we will be able to at least match
+the strong-scaling performance of DBCSR."*  This module implements that
+conversion so the hypothesis can be tested on the simulator.
+
+Structure: the ``P`` ranks are split into ``c`` layers of ``Q = P / c``
+ranks; layer ``l`` executes the contraction steps ``k`` with
+``k mod c == l`` as an ordinary 2D SUMMA over its own block-cyclic grid,
+so each rank's A/B tile traffic shrinks by ``sqrt(c)``.  Every layer
+accumulates a partial C(i, j) along its own multiply-add chain; the
+partials are then combined by a REDUCE template with a *streaming
+terminal* (sum reducer, per-key dynamic size = number of contributing
+layers) on the tile's home rank, which also writes the result.
+
+The feedback gates of the 2D graph (read window, coordinator) are omitted
+here: they throttle scheduler choice, which is orthogonal to the
+communication-volume question this graph answers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro import core as ttg
+from repro.apps.bspmm.driver import BspmmResult
+from repro.apps.bspmm.structure import BspmmPlan
+from repro.core.messaging import TaskOutputs
+from repro.linalg.blocksparse import BlockSparseMatrix
+from repro.linalg.kernels import effective_flops, gemm_flops
+from repro.linalg.tile import MatrixTile
+from repro.linalg.tiled_matrix import BlockCyclicDistribution
+from repro.runtime.base import Backend
+
+
+def choose_replication(nranks: int) -> int:
+    """Largest c in {1, 2, 4} with c^3 <= P and c | P (DBCSR's rule)."""
+    best = 1
+    for c in (2, 4):
+        if c**3 <= nranks and nranks % c == 0:
+            best = c
+    return best
+
+
+@dataclass
+class Bspmm25Plan:
+    """Static structure of the replicated product."""
+
+    c: int
+    layer_size: int
+    dist: BlockCyclicDistribution   # per-layer grid (layer_size ranks)
+    gdist: BlockCyclicDistribution  # global grid (all ranks): input/C homes
+    nsteps: int
+    # (i, j, layer) -> ordered contraction steps handled by that layer
+    chains: Dict[Tuple[int, int, int], List[int]] = field(default_factory=dict)
+    # layers contributing to each C block
+    layers_of: Dict[Tuple[int, int], List[int]] = field(default_factory=dict)
+    # destination ranks per A/B tile (global rank ids)
+    a_dests: Dict[Tuple[int, int], List[int]] = field(default_factory=dict)
+    b_dests: Dict[Tuple[int, int], List[int]] = field(default_factory=dict)
+    total_flops: float = 0.0
+
+    def gemm_rank(self, i: int, j: int, layer: int) -> int:
+        """Global rank executing the (i, j) chain of ``layer``."""
+        return layer * self.layer_size + self.dist.rank_of(i, j)
+
+    def home_rank(self, i: int, j: int) -> int:
+        """Global rank owning inputs and the final C(i, j): spread over
+        *all* ranks so replication traffic doesn't hotspot one layer's
+        NICs (as in real 2.5D layouts)."""
+        return self.gdist.rank_of(i, j)
+
+    @classmethod
+    def build(
+        cls, a: BlockSparseMatrix, b: BlockSparseMatrix, nranks: int,
+        c: Optional[int] = None,
+    ) -> "Bspmm25Plan":
+        if a.col_tiling.sizes != b.row_tiling.sizes:
+            raise ValueError("inner tilings of A and B do not match")
+        c = choose_replication(nranks) if c is None else c
+        if c < 1 or nranks % c != 0:
+            raise ValueError(f"replication {c} does not divide {nranks} ranks")
+        layer_size = nranks // c
+        plan = cls(
+            c=c,
+            layer_size=layer_size,
+            dist=BlockCyclicDistribution.for_ranks(layer_size),
+            gdist=BlockCyclicDistribution.for_ranks(nranks),
+            nsteps=a.col_tiling.nblocks,
+        )
+        a_rows: Dict[int, List[int]] = defaultdict(list)
+        for (i, k) in a.block_keys():
+            a_rows[k].append(i)
+        b_cols: Dict[int, List[int]] = defaultdict(list)
+        for (k, j) in b.block_keys():
+            b_cols[k].append(j)
+
+        chains: Dict[Tuple[int, int, int], List[int]] = defaultdict(list)
+        a_dest: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+        b_dest: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+        layer_sets: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+        for k in range(plan.nsteps):
+            layer = k % c
+            for i in a_rows.get(k, ()):
+                mi = a.row_tiling.sizes[i]
+                kk = a.col_tiling.sizes[k]
+                for j in b_cols.get(k, ()):
+                    nj = b.col_tiling.sizes[j]
+                    r = plan.gemm_rank(i, j, layer)
+                    chains[(i, j, layer)].append(k)
+                    layer_sets[(i, j)].add(layer)
+                    a_dest[(i, k)].add(r)
+                    b_dest[(k, j)].add(r)
+                    plan.total_flops += 2.0 * mi * nj * kk
+        plan.chains = {key: sorted(ks) for key, ks in chains.items()}
+        plan.layers_of = {ij: sorted(ls) for ij, ls in layer_sets.items()}
+        plan.a_dests = {ik: sorted(rs) for ik, rs in a_dest.items()}
+        plan.b_dests = {kj: sorted(rs) for kj, rs in b_dest.items()}
+        return plan
+
+    @property
+    def num_gemms(self) -> int:
+        return sum(len(ks) for ks in self.chains.values())
+
+
+def build_bspmm25_graph(
+    a: BlockSparseMatrix,
+    b: BlockSparseMatrix,
+    c_out: BlockSparseMatrix,
+    plan: Bspmm25Plan,
+) -> Tuple[ttg.TaskGraph, Dict[str, ttg.TemplateTask]]:
+    """Build the replicated-SUMMA TTG; returns (graph, {name: template})."""
+    synthetic = any(t.is_synthetic for _, t in a.blocks())
+    T, V = tuple, MatrixTile
+
+    read_a = ttg.Edge("r25_a", key_type=T)
+    read_b = ttg.Edge("r25_b", key_type=T)
+    store_a = ttg.Edge("s25_a", key_type=T, value_type=V)
+    store_b = ttg.Edge("s25_b", key_type=T, value_type=V)
+    lb_a = ttg.Edge("lb25_a", key_type=T, value_type=V)
+    lb_b = ttg.Edge("lb25_b", key_type=T, value_type=V)
+    c_chain = ttg.Edge("c25_chain", key_type=T, value_type=V)
+    partial = ttg.Edge("c25_partial", key_type=T, value_type=V)
+    to_write = ttg.Edge("c25_write", key_type=T, value_type=V)
+
+    # Which local gemms consume a stored tile: (rank, i, k) -> [(i,j,k,l)].
+    a_use: Dict[Tuple[int, int, int], List[Tuple[int, int, int]]] = defaultdict(list)
+    b_use: Dict[Tuple[int, int, int], List[Tuple[int, int, int]]] = defaultdict(list)
+    for (i, j, layer), ks in plan.chains.items():
+        r = plan.gemm_rank(i, j, layer)
+        for k in ks:
+            a_use[(r, i, k)].append((i, j, k))
+            b_use[(r, k, j)].append((i, j, k))
+
+    def read_a_body(key, _go, outs: TaskOutputs) -> None:
+        i, k = key
+        outs.broadcast(0, [(r, i, k) for r in plan.a_dests[key]],
+                       a.block(i, k), mode="cref")
+
+    def read_b_body(key, _go, outs: TaskOutputs) -> None:
+        k, j = key
+        outs.broadcast(0, [(r, k, j) for r in plan.b_dests[key]],
+                       b.block(k, j), mode="cref")
+
+    def store_a_body(key, tile, outs: TaskOutputs) -> None:
+        outs.broadcast(0, a_use[key], tile, mode="cref")
+
+    def store_b_body(key, tile, outs: TaskOutputs) -> None:
+        outs.broadcast(0, b_use[key], tile, mode="cref")
+
+    def cinit_body(rank: int, outs: TaskOutputs) -> None:
+        for (i, j, layer), ks in plan.chains.items():
+            if plan.gemm_rank(i, j, layer) != rank:
+                continue
+            rows = a.row_tiling.sizes[i]
+            cols = b.col_tiling.sizes[j]
+            tile = (MatrixTile.synthetic(rows, cols) if synthetic
+                    else MatrixTile.zeros(rows, cols))
+            outs.send(0, (i, j, ks[0]), tile, mode="move")
+
+    def gemm_body(key, atile, btile, ctile, outs: TaskOutputs) -> None:
+        i, j, k = key
+        layer = k % plan.c
+        if atile.data is not None and btile.data is not None and ctile.data is not None:
+            ctile.data = ctile.data + atile.data @ btile.data
+        ks = plan.chains[(i, j, layer)]
+        pos = ks.index(k)
+        if pos + 1 < len(ks):
+            outs.send("c", (i, j, ks[pos + 1]), ctile, mode="move")
+        else:
+            outs.send("p", (i, j), ctile, mode="move")
+
+    def reduce_body(key, acc, outs: TaskOutputs) -> None:
+        outs.send(0, key, acc, mode="move")
+
+    def write_body(key, tile, outs: TaskOutputs) -> None:
+        c_out.set_block(key[0], key[1], tile)
+
+    def sum_tiles(x: MatrixTile, y: MatrixTile) -> MatrixTile:
+        if x.data is not None and y.data is not None:
+            x.data = x.data + y.data
+        return x
+
+    tts = {
+        "read_a": ttg.make_tt(
+            read_a_body, [read_a], [store_a], name="READ_A25",
+            keymap=lambda key: plan.home_rank(key[0], key[1]),
+        ),
+        "read_b": ttg.make_tt(
+            read_b_body, [read_b], [store_b], name="READ_B25",
+            keymap=lambda key: plan.home_rank(key[0], key[1]),
+        ),
+        "store_a": ttg.make_tt(
+            store_a_body, [store_a], [lb_a], name="LSTORE_A25",
+            keymap=lambda key: key[0],
+        ),
+        "store_b": ttg.make_tt(
+            store_b_body, [store_b], [lb_b], name="LSTORE_B25",
+            keymap=lambda key: key[0],
+        ),
+        "cinit": ttg.make_tt(cinit_body, [], [c_chain], name="C_INIT25",
+                             keymap=lambda r: r),
+        "gemm": ttg.make_tt(
+            gemm_body,
+            [lb_a, lb_b, c_chain],
+            [c_chain, partial],
+            name="MULTIPLY_ADD25",
+            keymap=lambda key: plan.gemm_rank(key[0], key[1], key[2] % plan.c),
+            priomap=lambda key: 1_000_000 - 1_000 * key[2],
+            cost=lambda key, at, bt, ct: effective_flops(
+                gemm_flops(at.rows, bt.cols, at.cols),
+                min(at.rows, bt.cols, at.cols),
+            ),
+            output_names=["c", "p"],
+        ),
+        "reduce": ttg.make_tt(
+            reduce_body, [partial], [to_write], name="REDUCE_C25",
+            keymap=lambda key: plan.home_rank(key[0], key[1]),
+        ),
+        "write": ttg.make_tt(
+            write_body, [to_write], [], name="WRITE_C25",
+            keymap=lambda key: plan.home_rank(key[0], key[1]),
+        ),
+    }
+    tts["reduce"].set_input_reducer(0, sum_tiles)  # per-key size set by driver
+    graph = ttg.TaskGraph(list(tts.values()), name="bspmm25")
+    return graph, tts
+
+
+def bspmm_ttg_25d(
+    a: BlockSparseMatrix,
+    b: BlockSparseMatrix,
+    backend: Backend,
+    c: Optional[int] = None,
+) -> BspmmResult:
+    """Compute C = A @ B with the communication-reducing 2.5D SUMMA TTG."""
+    plan = Bspmm25Plan.build(a, b, backend.nranks, c=c)
+    c_out = BlockSparseMatrix(a.row_tiling, b.col_tiling)
+    graph, tts = build_bspmm25_graph(a, b, c_out, plan)
+    ex = graph.executable(backend)
+    for ij, layers in plan.layers_of.items():
+        ex.set_argstream_size(tts["reduce"], 0, ij, len(layers))
+    t0 = backend.engine.now
+    # Kick the reads (no gating in this variant) and seed the chains.
+    for key in sorted(plan.a_dests):
+        ex.inject(tts["read_a"], 0, key, None)
+    for key in sorted(plan.b_dests):
+        ex.inject(tts["read_b"], 0, key, None)
+    for rank in range(backend.nranks):
+        ex.invoke(tts["cinit"], rank)
+    makespan = ex.fence() - t0
+
+    # Adapt to the 2D result type (plan fields that exist in both).
+    plan2d_view = BspmmPlan(dist=plan.dist, nsteps=plan.nsteps)
+    plan2d_view.total_flops = plan.total_flops
+    plan2d_view.chains = {
+        (i, j): sorted(k for l in plan.layers_of[(i, j)]
+                       for k in plan.chains[(i, j, l)])
+        for (i, j) in plan.layers_of
+    }
+    return BspmmResult(
+        C=c_out,
+        makespan=makespan,
+        gflops=plan.total_flops / makespan / 1.0e9 if makespan > 0 else 0.0,
+        task_counts=dict(ex.task_counts),
+        stats=backend.stats.as_dict(),
+        plan=plan2d_view,
+    )

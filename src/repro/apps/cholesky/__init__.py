@@ -1,0 +1,16 @@
+"""Dense tiled Cholesky factorization in TTG (paper III-B, Fig. 1)."""
+
+from repro.apps.cholesky.graph import build_cholesky_graph
+from repro.apps.cholesky.driver import cholesky_ttg, CholeskyResult
+from repro.apps.cholesky.left_looking import (
+    build_left_looking_graph,
+    cholesky_left_looking,
+)
+
+__all__ = [
+    "build_cholesky_graph",
+    "cholesky_ttg",
+    "CholeskyResult",
+    "build_left_looking_graph",
+    "cholesky_left_looking",
+]

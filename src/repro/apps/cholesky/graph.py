@@ -1,0 +1,231 @@
+"""The Cholesky template task graph (paper Fig. 1 / Listing 1).
+
+Four kernel templates -- POTRF (diagonal factor), TRSM (panel solve),
+SYRK (diagonal update), GEMM (trailing update) -- plus INITIATOR (injects
+the input tiles, one task per rank reading its local tiles) and RESULT
+(collects the factor tiles).  Task IDs:
+
+- POTRF: ``k``            (int)
+- TRSM:  ``(m, k)``       with m > k
+- SYRK:  ``(k, m)``       applies A_mk to the diagonal tile A_mm
+- GEMM:  ``(m, n, k)``    with m > n > k
+- RESULT: ``(i, j)``
+
+The dataflow follows the standard right-looking variant: diagonal tiles
+flow through a SYRK chain into POTRF; panel tiles flow through a GEMM chain
+into TRSM; TRSM results are broadcast to the SYRK on its diagonal, the
+GEMMs of its row, and the GEMMs of its column -- the multi-terminal
+broadcast of Listing 1 lines 37-39.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro import core as ttg
+from repro.linalg.kernels import (
+    effective_flops,
+    gemm,
+    gemm_flops,
+    potrf,
+    potrf_flops,
+    syrk,
+    syrk_flops,
+    trsm,
+    trsm_flops,
+)
+from repro.linalg.tile import MatrixTile
+from repro.linalg.tiled_matrix import TiledMatrix
+
+
+def _priomaps(nt: int, enabled: bool):
+    """Critical-path-first priority maps (the paper's new priority feature).
+
+    POTRF dominates the critical path, then TRSM, then SYRK feeding the
+    next POTRF, then GEMMs; within a class, earlier iterations first.
+    """
+    if not enabled:
+        z = ttg.zero_priomap
+        return z, z, z, z
+
+    def potrf_prio(k: int) -> int:
+        return 4_000_000 - 1_000 * k
+
+    def trsm_prio(key: Tuple[int, int]) -> int:
+        m, k = key
+        return 3_000_000 - 1_000 * k - (m - k)
+
+    def syrk_prio(key: Tuple[int, int]) -> int:
+        k, m = key
+        # The SYRK feeding POTRF(k+1) (i.e. m == k+1) is urgent.
+        return 2_000_000 - 1_000 * k - 10 * (m - k)
+
+    def gemm_prio(key: Tuple[int, int, int]) -> int:
+        m, n, k = key
+        return 1_000_000 - 1_000 * k - 10 * (n - k) - (m - n)
+
+    return potrf_prio, trsm_prio, syrk_prio, gemm_prio
+
+
+def build_cholesky_graph(
+    a: TiledMatrix,
+    result: TiledMatrix,
+    *,
+    priorities: bool = True,
+) -> Tuple[ttg.TaskGraph, ttg.TemplateTask]:
+    """Build the Cholesky TTG over input ``a``, writing the factor into
+    ``result``.  Returns (graph, initiator-template)."""
+    nt = a.nt
+    owner = a.rank_of  # tile owner = task owner for every kernel
+
+    # ------------------------------------------------------------- edges
+    to_potrf = ttg.Edge("to_potrf", key_type=int, value_type=MatrixTile)
+    potrf_trsm = ttg.Edge("potrf_trsm", key_type=tuple, value_type=MatrixTile)
+    to_trsm = ttg.Edge("to_trsm", key_type=tuple, value_type=MatrixTile)
+    trsm_syrk = ttg.Edge("trsm_syrk", key_type=tuple, value_type=MatrixTile)
+    trsm_gemm_row = ttg.Edge("trsm_gemm_row", key_type=tuple, value_type=MatrixTile)
+    trsm_gemm_col = ttg.Edge("trsm_gemm_col", key_type=tuple, value_type=MatrixTile)
+    to_syrk = ttg.Edge("to_syrk", key_type=tuple, value_type=MatrixTile)
+    to_gemm = ttg.Edge("to_gemm", key_type=tuple, value_type=MatrixTile)
+    to_result = ttg.Edge("to_result", key_type=tuple, value_type=MatrixTile)
+
+    potrf_prio, trsm_prio, syrk_prio, gemm_prio = _priomaps(nt, priorities)
+
+    # -------------------------------------------------------------- bodies
+
+    def initiator_body(rank: int, outs: ttg.TaskOutputs) -> None:
+        """Inject every locally owned tile of the lower triangle."""
+        for i in range(nt):
+            for j in range(i + 1):
+                if owner(i, j) != rank:
+                    continue
+                tile = a.tile_at(i, j)
+                if i == 0 and j == 0:
+                    outs.send(0, 0, tile)  # -> POTRF(0)
+                elif i == j:
+                    outs.send(1, (0, i), tile)  # -> SYRK(0, i) chain entry
+                elif j == 0:
+                    outs.send(2, (i, 0), tile)  # -> TRSM(i, 0) A operand
+                else:
+                    outs.send(3, (i, j, 0), tile)  # -> GEMM(i, j, 0) chain
+
+    def potrf_body(k: int, tile_kk: MatrixTile, outs: ttg.TaskOutputs) -> None:
+        potrf(tile_kk)
+        trsm_keys = [(m, k) for m in range(k + 1, nt)]
+        outs.broadcast_multi(
+            [(0, [(k, k)]), (1, trsm_keys)], tile_kk, mode="cref"
+        )
+
+    def trsm_body(
+        key: Tuple[int, int],
+        tile_kk: MatrixTile,
+        tile_mk: MatrixTile,
+        outs: ttg.TaskOutputs,
+    ) -> None:
+        m, k = key
+        trsm(tile_kk, tile_mk)
+        # ids for gemms in row m and column m (Listing 1 lines 24-30)
+        row_ids = [(m, n, k) for n in range(k + 1, m)]
+        col_ids = [(i, m, k) for i in range(m + 1, nt)]
+        outs.broadcast_multi(
+            [(0, [(m, k)]), (1, [(k, m)]), (2, row_ids), (3, col_ids)],
+            tile_mk,
+            mode="cref",
+        )
+
+    def syrk_body(
+        key: Tuple[int, int],
+        tile_mk: MatrixTile,
+        tile_mm: MatrixTile,
+        outs: ttg.TaskOutputs,
+    ) -> None:
+        k, m = key
+        syrk(tile_mk, tile_mm)
+        if k == m - 1:
+            outs.send(0, m, tile_mm, mode="move")  # -> POTRF(m)
+        else:
+            outs.send(1, (k + 1, m), tile_mm, mode="move")  # next SYRK
+
+    def gemm_body(
+        key: Tuple[int, int, int],
+        tile_mk: MatrixTile,
+        tile_nk: MatrixTile,
+        tile_mn: MatrixTile,
+        outs: ttg.TaskOutputs,
+    ) -> None:
+        m, n, k = key
+        gemm(tile_mk, tile_nk, tile_mn)
+        if k == n - 1:
+            outs.send(0, (m, n), tile_mn, mode="move")  # -> TRSM(m, n)
+        else:
+            outs.send(1, (m, n, k + 1), tile_mn, mode="move")  # next GEMM
+
+    def result_body(key: Tuple[int, int], tile: MatrixTile, outs: ttg.TaskOutputs) -> None:
+        result.set_tile(key[0], key[1], tile)
+
+    # ---------------------------------------------------------- templates
+
+    b = a.b
+
+    initiator = ttg.make_tt(
+        initiator_body,
+        [],
+        [to_potrf, to_syrk, to_trsm, to_gemm],
+        name="INITIATOR",
+        keymap=lambda r: r,
+    )
+    potrf_tt = ttg.make_tt(
+        potrf_body,
+        [to_potrf],
+        [to_result, potrf_trsm],
+        name="POTRF",
+        keymap=lambda k: owner(k, k),
+        priomap=potrf_prio,
+        cost=lambda k, t: effective_flops(potrf_flops(t.rows), t.rows),
+    )
+    trsm_tt = ttg.make_tt(
+        trsm_body,
+        [potrf_trsm, to_trsm],
+        [to_result, trsm_syrk, trsm_gemm_row, trsm_gemm_col],
+        name="TRSM",
+        keymap=lambda key: owner(key[0], key[1]),
+        priomap=trsm_prio,
+        cost=lambda key, lkk, amk: effective_flops(
+            trsm_flops(amk.cols) * amk.rows / max(amk.cols, 1), amk.cols
+        ),
+    )
+    syrk_tt = ttg.make_tt(
+        syrk_body,
+        [trsm_syrk, to_syrk],
+        [to_potrf, to_syrk],
+        name="SYRK",
+        keymap=lambda key: owner(key[1], key[1]),
+        priomap=syrk_prio,
+        cost=lambda key, amk, amm: effective_flops(
+            syrk_flops(amm.rows) * amk.cols / max(amm.rows, 1), amm.rows
+        ),
+    )
+    gemm_tt = ttg.make_tt(
+        gemm_body,
+        [trsm_gemm_row, trsm_gemm_col, to_gemm],
+        [to_trsm, to_gemm],
+        name="GEMM",
+        keymap=lambda key: owner(key[0], key[1]),
+        priomap=gemm_prio,
+        cost=lambda key, amk, ank, amn: effective_flops(
+            gemm_flops(amn.rows, amn.cols, amk.cols), amn.rows
+        ),
+    )
+    result_tt = ttg.make_tt(
+        result_body,
+        [to_result],
+        [],
+        name="RESULT",
+        keymap=lambda key: owner(key[0], key[1]),
+    )
+
+    graph = ttg.TaskGraph(
+        [initiator, potrf_tt, trsm_tt, syrk_tt, gemm_tt, result_tt],
+        name="cholesky",
+    )
+    return graph, initiator

@@ -1,0 +1,6 @@
+"""Tiled Floyd-Warshall all-pairs shortest path in TTG (paper III-C)."""
+
+from repro.apps.floydwarshall.graph import build_fw_graph
+from repro.apps.floydwarshall.driver import floyd_warshall_ttg, FwResult, fw_reference
+
+__all__ = ["build_fw_graph", "floyd_warshall_ttg", "FwResult", "fw_reference"]

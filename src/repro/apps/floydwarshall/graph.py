@@ -1,0 +1,200 @@
+"""The FW-APSP template task graph (paper III-C, Fig. 7).
+
+The single-level tiled algorithm has four kernels per round ``k``:
+
+- **A** -- diagonal tile ``(k, k)``;
+- **B** -- row ``k`` tiles ``(k, j)``, needing A's result;
+- **C** -- column ``k`` tiles ``(i, k)``, needing A's result;
+- **D** -- all other tiles ``(i, j)``, needing B's ``(k, j)`` and C's
+  ``(i, k)`` results.
+
+Every tile flows through nt rounds via per-kernel chain edges; row/column
+results are broadcast to all successor operations independently of other
+tiles (the paper contrasts this with the MPI+OpenMP supertile broadcasts).
+Task IDs: A ``k``; B ``(k, j)``; C ``(i, k)``; D ``(i, j, k)``.
+
+Tiles that are both broadcast (read-only) and passed down the chain (to a
+mutating round-k+1 task) are chained by *value*: TTG's semantics give
+mutating tasks private copies when data is shared.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro import core as ttg
+from repro.core.messaging import TaskOutputs
+from repro.linalg.kernels import effective_flops, fw_closure, fw_kernel
+from repro.linalg.tile import MatrixTile
+from repro.linalg.tiled_matrix import TiledMatrix
+
+
+def _fw_cost(tile: MatrixTile, inner: int) -> float:
+    return effective_flops(2.0 * tile.rows * tile.cols * inner, tile.rows)
+
+
+def build_fw_graph(
+    w: TiledMatrix,
+    result: TiledMatrix,
+    *,
+    priorities: bool = True,
+) -> Tuple[ttg.TaskGraph, ttg.TemplateTask]:
+    """Build the FW TTG over weight matrix ``w``; shortest-path tile
+    results land in ``result``.  Returns (graph, initiator-template)."""
+    nt = w.nt
+    owner = w.rank_of
+
+    to_a = ttg.Edge("to_a", key_type=int, value_type=MatrixTile)
+    to_b = ttg.Edge("to_b", key_type=tuple, value_type=MatrixTile)
+    to_c = ttg.Edge("to_c", key_type=tuple, value_type=MatrixTile)
+    to_d = ttg.Edge("to_d", key_type=tuple, value_type=MatrixTile)
+    a_b = ttg.Edge("a_b", key_type=tuple, value_type=MatrixTile)
+    a_c = ttg.Edge("a_c", key_type=tuple, value_type=MatrixTile)
+    b_d = ttg.Edge("b_d", key_type=tuple, value_type=MatrixTile)
+    c_d = ttg.Edge("c_d", key_type=tuple, value_type=MatrixTile)
+    to_result = ttg.Edge("to_result", key_type=tuple, value_type=MatrixTile)
+
+    def route_chain(
+        outs: TaskOutputs, i: int, j: int, knext: int, tile: MatrixTile, shared: bool
+    ) -> None:
+        """Send tile (i, j) into its round-``knext`` task (or RESULT).
+
+        ``shared`` marks tiles that were also broadcast read-only this
+        round; they are chained by value so the mutating successor gets a
+        private copy.
+        """
+        mode = "value" if shared else "move"
+        if knext == nt:
+            outs.send("res", (i, j), tile, mode=mode)
+        elif i == knext and j == knext:
+            outs.send("a", knext, tile, mode=mode)
+        elif i == knext:
+            outs.send("b", (knext, j), tile, mode=mode)
+        elif j == knext:
+            outs.send("c", (i, knext), tile, mode=mode)
+        else:
+            outs.send("d", (i, j, knext), tile, mode=mode)
+
+    # -------------------------------------------------------------- bodies
+
+    def initiator_body(rank: int, outs: TaskOutputs) -> None:
+        for i in range(nt):
+            for j in range(nt):
+                if owner(i, j) != rank:
+                    continue
+                tile = w.tile_at(i, j).clone()
+                if i == 0 and j == 0:
+                    outs.send("a", 0, tile, mode="move")
+                elif i == 0:
+                    outs.send("b", (0, j), tile, mode="move")
+                elif j == 0:
+                    outs.send("c", (i, 0), tile, mode="move")
+                else:
+                    outs.send("d", (i, j, 0), tile, mode="move")
+
+    def a_body(k: int, wkk: MatrixTile, outs: TaskOutputs) -> None:
+        fw_closure(wkk)
+        b_ids = [(k, j) for j in range(nt) if j != k]
+        c_ids = [(i, k) for i in range(nt) if i != k]
+        outs.broadcast_multi([("ab", b_ids), ("ac", c_ids)], wkk, mode="cref")
+        route_chain(outs, k, k, k + 1, wkk, shared=True)
+
+    def b_body(key: Tuple[int, int], wkk: MatrixTile, wkj: MatrixTile, outs: TaskOutputs) -> None:
+        k, j = key
+        fw_kernel(wkk, wkj, wkj)
+        d_ids = [(i, j, k) for i in range(nt) if i != k]
+        outs.broadcast("bd", d_ids, wkj, mode="cref")
+        route_chain(outs, k, j, k + 1, wkj, shared=True)
+
+    def c_body(key: Tuple[int, int], wkk: MatrixTile, wik: MatrixTile, outs: TaskOutputs) -> None:
+        i, k = key
+        fw_kernel(wik, wkk, wik)
+        d_ids = [(i, j, k) for j in range(nt) if j != k]
+        outs.broadcast("cd", d_ids, wik, mode="cref")
+        route_chain(outs, i, k, k + 1, wik, shared=True)
+
+    def d_body(
+        key: Tuple[int, int, int],
+        wik: MatrixTile,
+        wkj: MatrixTile,
+        wij: MatrixTile,
+        outs: TaskOutputs,
+    ) -> None:
+        i, j, k = key
+        fw_kernel(wik, wkj, wij)
+        route_chain(outs, i, j, k + 1, wij, shared=False)
+
+    def result_body(key: Tuple[int, int], tile: MatrixTile, outs: TaskOutputs) -> None:
+        result.set_tile(key[0], key[1], tile)
+
+    # ------------------------------------------------------------- priomaps
+
+    if priorities:
+        a_prio = lambda k: 4_000_000 - 1_000 * k
+        bc_prio = lambda key: 3_000_000 - 1_000 * max(key)
+        d_prio = lambda key: 2_000_000 - 1_000 * key[2]
+    else:
+        a_prio = bc_prio = d_prio = ttg.zero_priomap
+
+    # ------------------------------------------------------------ templates
+
+    initiator = ttg.make_tt(
+        initiator_body,
+        [],
+        [to_a, to_b, to_c, to_d],
+        name="INITIATOR",
+        keymap=lambda r: r,
+        output_names=["a", "b", "c", "d"],
+    )
+    a_tt = ttg.make_tt(
+        a_body,
+        [to_a],
+        [a_b, a_c, to_a, to_b, to_c, to_d, to_result],
+        name="FW_A",
+        keymap=lambda k: owner(k, k),
+        priomap=a_prio,
+        cost=lambda k, t: _fw_cost(t, t.cols),
+        output_names=["ab", "ac", "a", "b", "c", "d", "res"],
+    )
+    b_tt = ttg.make_tt(
+        b_body,
+        [a_b, to_b],
+        [b_d, to_a, to_b, to_c, to_d, to_result],
+        name="FW_B",
+        keymap=lambda key: owner(key[0], key[1]),
+        priomap=bc_prio,
+        cost=lambda key, wkk, t: _fw_cost(t, wkk.cols),
+        output_names=["bd", "a", "b", "c", "d", "res"],
+    )
+    c_tt = ttg.make_tt(
+        c_body,
+        [a_c, to_c],
+        [c_d, to_a, to_b, to_c, to_d, to_result],
+        name="FW_C",
+        keymap=lambda key: owner(key[0], key[1]),
+        priomap=bc_prio,
+        cost=lambda key, wkk, t: _fw_cost(t, wkk.cols),
+        output_names=["cd", "a", "b", "c", "d", "res"],
+    )
+    d_tt = ttg.make_tt(
+        d_body,
+        [c_d, b_d, to_d],
+        [to_a, to_b, to_c, to_d, to_result],
+        name="FW_D",
+        keymap=lambda key: owner(key[0], key[1]),
+        priomap=d_prio,
+        cost=lambda key, wik, wkj, t: _fw_cost(t, wik.cols),
+        output_names=["a", "b", "c", "d", "res"],
+    )
+    result_tt = ttg.make_tt(
+        result_body,
+        [to_result],
+        [],
+        name="RESULT",
+        keymap=lambda key: owner(key[0], key[1]),
+    )
+
+    graph = ttg.TaskGraph(
+        [initiator, a_tt, b_tt, c_tt, d_tt, result_tt], name="fw_apsp"
+    )
+    return graph, initiator

@@ -1,0 +1,27 @@
+"""Adaptive multiresolution analysis in TTG (paper III-E).
+
+Computes the order-k multiwavelet representation of sums of d-dimensional
+Gaussians to a target precision: adaptive projection down a dyadic spatial
+tree, fast wavelet transform (compress) up the tree via streaming terminals
+with 2^d-sized input reducers, inverse transform (reconstruct) down, and
+the function norm for verification -- all streamed through one TTG with no
+inter-step barriers (unlike the native MADNESS implementation).
+"""
+
+from repro.apps.mra.multiwavelet import Multiwavelet, Gaussian, GaussianSum
+from repro.apps.mra.tree import FunctionTree, CompressedTree, project_adaptive
+from repro.apps.mra.graph import build_mra_graph
+from repro.apps.mra.driver import mra_ttg, MraResult, random_gaussians
+
+__all__ = [
+    "Multiwavelet",
+    "Gaussian",
+    "GaussianSum",
+    "FunctionTree",
+    "CompressedTree",
+    "project_adaptive",
+    "build_mra_graph",
+    "mra_ttg",
+    "MraResult",
+    "random_gaussians",
+]

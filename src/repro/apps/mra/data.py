@@ -1,0 +1,76 @@
+"""Message payloads for the MRA TTG.
+
+:class:`MraMessage` bundles coefficient tensors with small metadata and
+implements the splitmd interface so the PaRSEC backend moves coefficient
+payloads by RMA.  ``inflate`` scales the *nominal* byte count: scaled-down
+benchmark runs (low multiwavelet order) can charge wire costs as if they
+carried the paper's order-10 tensors while computing real low-order math.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+
+class MraMessage:
+    """Tensors + metadata flowing along MRA edges."""
+
+    __slots__ = ("arrays", "meta", "inflate")
+
+    def __init__(
+        self,
+        arrays: Tuple[Optional[np.ndarray], ...],
+        meta: Tuple[Any, ...] = (),
+        inflate: float = 1.0,
+    ) -> None:
+        self.arrays = tuple(arrays)
+        self.meta = tuple(meta)
+        self.inflate = float(inflate)
+
+    @property
+    def nbytes(self) -> int:
+        raw = sum(a.nbytes for a in self.arrays if a is not None)
+        return int(raw * self.inflate) + 32
+
+    def clone(self) -> "MraMessage":
+        return MraMessage(
+            tuple(None if a is None else a.copy() for a in self.arrays),
+            self.meta,
+            self.inflate,
+        )
+
+    def __repr__(self) -> str:
+        shapes = [None if a is None else a.shape for a in self.arrays]
+        return f"MraMessage(shapes={shapes}, meta={self.meta})"
+
+    # ------------------------------------------------------------ splitmd
+
+    def splitmd_metadata(self) -> Tuple[Any, ...]:
+        shapes = tuple(None if a is None else a.shape for a in self.arrays)
+        return (shapes, self.meta, self.inflate)
+
+    def splitmd_payload(self) -> Optional[np.ndarray]:
+        live = [a.ravel() for a in self.arrays if a is not None]
+        if not live:
+            return None
+        return np.concatenate(live)
+
+    @classmethod
+    def splitmd_allocate(cls, metadata: Tuple[Any, ...]) -> "MraMessage":
+        shapes, meta, inflate = metadata
+        arrays = tuple(None if s is None else np.empty(s) for s in shapes)
+        return cls(arrays, meta, inflate)
+
+    def splitmd_fill(self, payload: np.ndarray) -> None:
+        pos = 0
+        filled = []
+        for a in self.arrays:
+            if a is None:
+                filled.append(None)
+                continue
+            n = a.size
+            filled.append(np.asarray(payload[pos : pos + n]).reshape(a.shape))
+            pos += n
+        self.arrays = tuple(filled)

@@ -1,0 +1,42 @@
+"""Comparator implementations (paper Section III).
+
+Each baseline reproduces the *algorithmic structure* that determines its
+published performance curve -- synchronization pattern, communication
+volume, parallelism limits -- on the same simulated machine:
+
+- :mod:`bulksync` -- round-synchronous executor shared by the
+  bulk-synchronous baselines.
+- :mod:`cholesky_variants` -- ScaLAPACK, SLATE (fork-join, no lookahead)
+  and DPLASMA, Chameleon (task-based, different comm substrates).
+- :mod:`forkjoin_fw` -- the MPI+OpenMP recursive tiled FW-APSP of [27].
+- :mod:`dbcsr` -- DBCSR's 2.5D communication-reducing SUMMA.
+- :mod:`madness_mra` -- native MADNESS MRA with per-step fences.
+"""
+
+from repro.baselines.bulksync import BulkSyncExecutor, Round
+from repro.baselines.cholesky_variants import (
+    scalapack_cholesky,
+    slate_cholesky,
+    dplasma_cholesky,
+    chameleon_cholesky,
+    BaselineResult,
+)
+from repro.baselines.forkjoin_fw import forkjoin_fw, ForkJoinFwResult
+from repro.baselines.dbcsr import dbcsr_multiply, DbcsrResult
+from repro.baselines.madness_mra import madness_mra, MadnessMraResult
+
+__all__ = [
+    "BulkSyncExecutor",
+    "Round",
+    "scalapack_cholesky",
+    "slate_cholesky",
+    "dplasma_cholesky",
+    "chameleon_cholesky",
+    "BaselineResult",
+    "forkjoin_fw",
+    "ForkJoinFwResult",
+    "dbcsr_multiply",
+    "DbcsrResult",
+    "madness_mra",
+    "MadnessMraResult",
+]

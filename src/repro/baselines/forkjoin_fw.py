@@ -1,0 +1,113 @@
+"""MPI+OpenMP recursive tiled FW-APSP baseline (paper III-C, refs [25,27]).
+
+The first level of tiling distributes the adjacency matrix: an R x R grid
+of supertiles, one per process (the implementation demands square process
+counts).  Per round k (one per supertile diagonal):
+
+1. kernel A on the diagonal supertile's owner -- everyone else waits;
+2. MPI broadcast of the updated supertile along row and column;
+3. kernels B and C on the 2(R-1) row/column owners;
+4. second broadcast of B/C results;
+5. kernel D on the remaining (R-1)^2 owners;
+6. implicit barrier (collectives + fork-join join points).
+
+Within a process, work is decomposed into OpenMP tasks by two-way
+recursive divide-and-conquer down to ``b x b`` base tiles; the diagonal
+dependency chain bounds the critical path at ~2*S*b^2 flops, so phases A,
+B and C cannot use all cores -- precisely the "fork-join fails to generate
+enough subtasks" effect of Nookala et al. [31] that TTG's dataflow avoids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.baselines.bulksync import BulkSyncExecutor, Round
+from repro.linalg.kernels import effective_flops, fw_total_flops
+from repro.sim.cluster import Cluster
+
+
+@dataclass
+class ForkJoinFwResult:
+    name: str
+    makespan: float
+    gflops: float
+    breakdown: Optional[Dict[str, float]] = None
+
+    def __repr__(self) -> str:
+        return f"{self.name}: {self.gflops:.1f} Gflop/s ({self.makespan:.4f}s)"
+
+
+def forkjoin_fw(cluster: Cluster, n: int, b: int) -> ForkJoinFwResult:
+    """Model the MPI+OpenMP implementation on ``cluster`` for an n x n
+    matrix with base-tile size b.
+
+    The process grid is the largest square R*R <= nranks (the paper notes
+    the implementation's square-process-count constraint; extra ranks
+    idle, as they would in practice).
+    """
+    p = cluster.nranks
+    r_grid = int(math.isqrt(p))
+    s = (n + r_grid - 1) // r_grid  # supertile size (one per process)
+    net = cluster.network
+    ex = BulkSyncExecutor(cluster)
+    super_bytes = s * s * 8
+    # Fork-join critical path of a supertile kernel decomposed to b-tiles:
+    # the diagonal chain of (s/b) dependent base kernels.
+    cp_chain = effective_flops(2.0 * s * b * b, b)
+    # Join overhead per recursion level of the 2-way divide and conquer.
+    join_levels = max(1, int(math.log2(max(s // b, 1))))
+    join_overhead = join_levels * 8.0e-6
+
+    def owner(i: int, j: int) -> int:
+        return i * r_grid + j
+
+    rounds = []
+    for k in range(r_grid):
+        # Phase A: one process closes the diagonal supertile.
+        rounds.append(
+            Round(
+                work={owner(k, k): effective_flops(2.0 * s**3, b)},
+                critical_path={owner(k, k): cp_chain * 2},
+                comm=join_overhead
+                + net.bcast_time(r_grid, super_bytes) * 2,  # row + column bcast
+                name=f"A({k})",
+            )
+        )
+        # Phase B/C: row and column supertiles update concurrently.
+        work: Dict[int, float] = {}
+        cp: Dict[int, float] = {}
+        for j in range(r_grid):
+            if j == k:
+                continue
+            work[owner(k, j)] = effective_flops(2.0 * s**3, b)
+            cp[owner(k, j)] = cp_chain
+            work[owner(j, k)] = effective_flops(2.0 * s**3, b)
+            cp[owner(j, k)] = cp_chain
+        rounds.append(
+            Round(
+                work=work,
+                critical_path=cp,
+                comm=join_overhead
+                + net.bcast_time(r_grid, super_bytes) * 2,  # B/C panels
+                name=f"BC({k})",
+            )
+        )
+        # Phase D: the trailing (R-1)^2 supertiles, fully parallel tasks.
+        work = {}
+        for i in range(r_grid):
+            for j in range(r_grid):
+                if i != k and j != k:
+                    work[owner(i, j)] = effective_flops(2.0 * s**3, b)
+        if work:
+            rounds.append(Round(work=work, comm=join_overhead, name=f"D({k})"))
+    makespan = ex.run(rounds)
+    flops = fw_total_flops(n)
+    return ForkJoinFwResult(
+        name="mpi+openmp",
+        makespan=makespan,
+        gflops=flops / makespan / 1.0e9,
+        breakdown=ex.breakdown(),
+    )

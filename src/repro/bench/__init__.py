@@ -1,0 +1,8 @@
+"""Benchmark harness regenerating every table and figure of the paper."""
+
+from repro.bench.harness import Series, print_table, print_series, geometric_nodes
+from repro.bench.plot import ascii_chart, print_chart
+from repro.bench import figures
+
+__all__ = ["Series", "print_table", "print_series", "geometric_nodes",
+           "ascii_chart", "print_chart", "figures"]

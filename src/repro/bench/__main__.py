@@ -1,0 +1,88 @@
+"""Command-line figure runner: ``python -m repro.bench <experiment>``.
+
+Runs one of the paper's experiments and prints its rows and an ASCII chart,
+without going through pytest:
+
+    python -m repro.bench table1
+    python -m repro.bench fig5 --max-nodes 8
+    python -m repro.bench fig8
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.bench import figures
+from repro.bench.harness import print_series, print_table
+from repro.bench.plot import print_chart
+
+_FIGS: Dict[str, Callable] = {
+    "fig5": figures.fig5_potrf_weak,
+    "fig6": figures.fig6_potrf_problem,
+    "fig8": figures.fig8_fw_hawk,
+    "fig9": figures.fig9_fw_seawulf,
+    "fig12": figures.fig12_bspmm,
+    "fig13a": figures.fig13a_mra_seawulf,
+    "fig13b": figures.fig13b_mra_hawk,
+}
+
+_TITLES = {
+    "fig5": ("Fig 5: POTRF weak scaling, Hawk (Gflop/s)", "nodes"),
+    "fig6": ("Fig 6: POTRF problem-size scaling (Gflop/s)", "n"),
+    "fig8": ("Fig 8: FW-APSP strong scaling, Hawk (Gflop/s)", "nodes"),
+    "fig9": ("Fig 9: FW-APSP strong scaling, Seawulf (Gflop/s)", "nodes"),
+    "fig12": ("Fig 12: BSPMM strong scaling (Gflop/s)", "nodes"),
+    "fig13a": ("Fig 13a: MRA strong scaling, Seawulf (functions/s)", "nodes"),
+    "fig13b": ("Fig 13b: MRA strong scaling, Hawk (functions/s)", "nodes"),
+}
+
+
+def run_table1() -> None:
+    rows = figures.table1_configs()
+    columns = list(rows[0].keys())
+    print_table("Table I: simulated machine configurations", columns,
+                [[r[c] for c in columns] for r in rows])
+
+
+def run_figure(name: str, max_nodes: Optional[int]) -> None:
+    fn = _FIGS[name]
+    kwargs = {}
+    if max_nodes is not None:
+        key = "nodes" if name == "fig6" else "max_nodes"
+        kwargs[key] = max_nodes
+    series = fn(**kwargs)
+    title, xlabel = _TITLES[name]
+    print_series(title, xlabel, list(series.values()))
+    print_chart(list(series.values()), title=title)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate a table/figure of the TTG paper on the simulator.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", *sorted(_FIGS), "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--max-nodes", type=int, default=None,
+        help="override the node-count range (fig6: the fixed node count)",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment in ("table1", "all"):
+        run_table1()
+    if args.experiment == "all":
+        for name in sorted(_FIGS):
+            run_figure(name, args.max_nodes)
+    elif args.experiment != "table1":
+        run_figure(args.experiment, args.max_nodes)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Series runner and table printer for the figure benchmarks.
+
+Every figure benchmark produces :class:`Series` objects -- named sequences
+of (x, y) points -- and prints them in the same rows/columns layout the
+paper reports, so a bench run's stdout *is* the regenerated figure data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Series:
+    """One curve of a figure."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def y_at(self, x: float) -> Optional[float]:
+        for px, py in self.points:
+            if px == x:
+                return py
+        return None
+
+    @property
+    def xs(self) -> List[float]:
+        return [p[0] for p in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [p[1] for p in self.points]
+
+    def monotone_increasing(self, tol: float = 0.02) -> bool:
+        """True when each point is at least (1-tol) of its predecessor."""
+        ys = self.ys
+        return all(b >= a * (1 - tol) for a, b in zip(ys, ys[1:]))
+
+
+def geometric_nodes(max_nodes: int, start: int = 1) -> List[int]:
+    """1, 2, 4, ... up to max_nodes."""
+    out = []
+    n = start
+    while n <= max_nodes:
+        out.append(n)
+        n *= 2
+    return out
+
+
+def print_table(title: str, columns: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Plain fixed-width table (captured by pytest -s / tee)."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(c) for c in columns]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+
+
+def print_series(
+    title: str,
+    xlabel: str,
+    series: Sequence[Series],
+    yfmt: str = "{:.1f}",
+) -> None:
+    """Print curves side by side, one row per x value."""
+    xs = sorted({x for s in series for x in s.xs})
+    columns = [xlabel] + [s.name for s in series]
+    rows = []
+    for x in xs:
+        row = [f"{x:g}"]
+        for s in series:
+            y = s.y_at(x)
+            row.append("-" if y is None else yfmt.format(y))
+        rows.append(row)
+    print_table(title, columns, rows)

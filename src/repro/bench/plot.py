@@ -1,0 +1,78 @@
+"""ASCII rendering of figure series (no plotting dependency needed).
+
+``ascii_chart`` draws a log-x scatter of several series in a text grid,
+used by the figure benchmarks so a terminal/tee capture shows the curve
+*shapes*, not just the numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.bench.harness import Series
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Sequence[Series],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = True,
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render series into a text chart; one mark character per series."""
+    pts = [(s, x, y) for s in series for x, y in s.points if y is not None]
+    if not pts:
+        return "(no data)"
+    xs = [p[1] for p in pts]
+    ys = [p[2] for p in pts]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = 0.0, max(ys)
+    if ymax <= ymin:
+        ymax = ymin + 1.0
+
+    def xpos(x: float) -> int:
+        if logx and xmin > 0 and xmax > xmin:
+            f = (math.log(x) - math.log(xmin)) / (math.log(xmax) - math.log(xmin))
+        elif xmax > xmin:
+            f = (x - xmin) / (xmax - xmin)
+        else:
+            f = 0.0
+        return min(width - 1, int(round(f * (width - 1))))
+
+    def ypos(y: float) -> int:
+        f = (y - ymin) / (ymax - ymin)
+        return min(height - 1, int(round(f * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, s in enumerate(series):
+        mark = _MARKS[i % len(_MARKS)]
+        for x, y in s.points:
+            if y is None:
+                continue
+            grid[height - 1 - ypos(y)][xpos(x)] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{ymax:.3g}"
+    for r, row in enumerate(grid):
+        prefix = top_label if r == 0 else ("0" if r == height - 1 else "")
+        lines.append(f"{prefix:>8} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9}{xmin:g}" + f"{xmax:g}".rjust(width - len(f"{xmin:g}")))
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {s.name}" for i, s in enumerate(series)
+    )
+    lines.append(" " * 9 + legend)
+    if ylabel:
+        lines.append(" " * 9 + f"(y: {ylabel})")
+    return "\n".join(lines)
+
+
+def print_chart(series: Sequence[Series], **kwargs) -> None:
+    print()
+    print(ascii_chart(series, **kwargs))

@@ -1,0 +1,14 @@
+"""Communication layer on top of the simulator.
+
+Provides the abstractions the TTG backends consume (Section II-D): active
+messages for control, one-sided RMA transfers for bulk data, completion
+callbacks, FIFO point-to-point channels, and tree-based collectives for the
+bulk-synchronous baselines.
+"""
+
+from repro.comm.endpoint import CommEngine
+from repro.comm.am import ActiveMessageRegistry
+from repro.comm.rma import RmaWindow
+from repro.comm.collectives import Collectives
+
+__all__ = ["CommEngine", "ActiveMessageRegistry", "RmaWindow", "Collectives"]

@@ -1,0 +1,46 @@
+"""Active-message handler registry (tag -> handler dispatch).
+
+The TTG backends mostly pass bound callbacks directly through
+:meth:`CommEngine.send_am`; the registry is used where a *named* handler
+table is the natural model -- e.g. the MADNESS ``World`` remote method
+invocation layer -- and by tests exercising AM dispatch in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.comm.endpoint import CommEngine
+
+
+class AmHandlerError(KeyError):
+    """Unknown active-message tag."""
+
+
+class ActiveMessageRegistry:
+    """Per-rank tables of named AM handlers."""
+
+    def __init__(self, comm: CommEngine) -> None:
+        self.comm = comm
+        self._handlers: list[Dict[str, Callable[..., Any]]] = [
+            {} for _ in range(comm.cluster.nranks)
+        ]
+
+    def register(self, rank: int, tag: str, handler: Callable[..., Any]) -> None:
+        """Install ``handler`` for ``tag`` on ``rank`` (overwrites)."""
+        self._handlers[rank][tag] = handler
+
+    def register_all(self, tag: str, handler_factory: Callable[[int], Callable[..., Any]]) -> None:
+        """Install ``handler_factory(rank)`` on every rank."""
+        for r in range(self.comm.cluster.nranks):
+            self.register(r, tag, handler_factory(r))
+
+    def send(self, src: int, dst: int, tag: str, nbytes: int, *args: Any) -> None:
+        """Send an AM that invokes the ``tag`` handler registered at ``dst``."""
+        if tag not in self._handlers[dst]:
+            raise AmHandlerError(f"rank {dst} has no handler for tag {tag!r}")
+
+        def _dispatch() -> None:
+            self._handlers[dst][tag](*args)
+
+        self.comm.send_am(src, dst, nbytes, _dispatch, tag=tag)

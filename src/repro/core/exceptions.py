@@ -1,0 +1,23 @@
+"""TTG error hierarchy."""
+
+from __future__ import annotations
+
+
+class TTGError(Exception):
+    """Base class for all TTG-layer errors."""
+
+
+class GraphConstructionError(TTGError):
+    """Invalid graph wiring (unconnected terminal, duplicate binding...)."""
+
+
+class TypeMismatchError(TTGError):
+    """A message's key or value violates an edge/terminal type declaration."""
+
+
+class DeliveryError(TTGError):
+    """Invalid message delivery (duplicate input, unknown terminal...)."""
+
+
+class StreamError(TTGError):
+    """Streaming-terminal misuse (size conflict, finalize-after-ready...)."""

@@ -1,0 +1,446 @@
+"""TaskGraph and its executable binding to a backend.
+
+A :class:`TaskGraph` is the *template* task graph: template tasks wired by
+edges, possibly cyclic (Listing 1's graph has cycles; only the dynamically
+unfolded DAG of task *instances* is acyclic).  ``graph.executable(backend)``
+binds it to a runtime backend, after which seeds are injected via
+``invoke`` and the computation is drained with ``fence``.
+
+Message-to-task semantics (paper II): once every input terminal of a
+template task has received one message with the same task ID (streaming
+terminals: once their stream is complete), a task is created with the data
+parts of those messages and scheduled on the rank given by the template's
+keymap with the priority given by its priority map.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.edge import Edge
+from repro.core.exceptions import (
+    DeliveryError,
+    GraphConstructionError,
+    StreamError,
+)
+from repro.core.messaging import TaskOutputs, _pop_outputs, _push_outputs
+from repro.core.task import TemplateTask
+from repro.core.terminals import OutputTerminal
+from repro.runtime.base import Backend
+
+_EMPTY = object()
+
+
+class TaskGraph:
+    """A collection of template tasks forming one flowgraph."""
+
+    def __init__(self, tts: Sequence[TemplateTask], name: str = "ttg") -> None:
+        if not tts:
+            raise GraphConstructionError("a TaskGraph needs at least one template task")
+        seen = set()
+        for tt in tts:
+            if tt.id in seen:
+                raise GraphConstructionError(f"duplicate template task {tt.name}")
+            seen.add(tt.id)
+        self.tts: Tuple[TemplateTask, ...] = tuple(tts)
+        self.name = name
+
+    def edges(self) -> List[Edge]:
+        """All distinct edges touched by this graph's terminals."""
+        out: Dict[int, Edge] = {}
+        for tt in self.tts:
+            for t in list(tt.inputs) + list(tt.outputs):
+                out[t.edge.id] = t.edge
+        return list(out.values())
+
+    def validate(self) -> List[str]:
+        """Non-fatal wiring diagnostics (inputs without producers are legal
+        -- they are ``invoke`` seeds -- but worth surfacing)."""
+        issues = []
+        for tt in self.tts:
+            for t in tt.inputs:
+                if not t.edge.producers:
+                    issues.append(
+                        f"{tt.name}.{t.name}: edge {t.edge.name!r} has no producer "
+                        "(must be fed via invoke)"
+                    )
+            for t in tt.outputs:
+                if not t.edge.consumers:
+                    issues.append(
+                        f"{tt.name}.{t.name}: edge {t.edge.name!r} has no consumer "
+                        "(sends on it will fail)"
+                    )
+        return issues
+
+    def to_dot(self) -> str:
+        """Graphviz rendering of the template graph (for docs/examples)."""
+        lines = [f'digraph "{self.name}" {{', "  rankdir=LR;"]
+        for tt in self.tts:
+            lines.append(f'  "{tt.name}" [shape=box];')
+        for tt in self.tts:
+            for t in tt.outputs:
+                for ctt, cidx in t.edge.consumers:
+                    label = t.edge.name
+                    lines.append(f'  "{tt.name}" -> "{ctt.name}" [label="{label}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def executable(self, backend: Backend) -> "Executable":
+        """Bind this template graph to a backend (make_graph_executable)."""
+        return Executable(self, backend)
+
+
+class _Pending:
+    """Accumulating inputs of one not-yet-ready task instance."""
+
+    __slots__ = ("slots", "counts", "expected")
+
+    def __init__(self, tt: TemplateTask) -> None:
+        n = tt.num_inputs
+        self.slots: List[Any] = [_EMPTY] * n
+        self.counts: List[int] = [0] * n
+        self.expected: List[Optional[int]] = [
+            t.static_stream_size if t.is_streaming else 1 for t in tt.inputs
+        ]
+
+
+class Executable:
+    """A TaskGraph bound to a backend: delivery, instantiation, execution."""
+
+    def __init__(self, graph: TaskGraph, backend: Backend) -> None:
+        self.graph = graph
+        self.backend = backend
+        self.nranks = backend.nranks
+        self._pending: Dict[Tuple[int, Any], _Pending] = {}
+        self.task_counts: Counter = Counter()
+        self._tt_ids = {tt.id for tt in graph.tts}
+
+    # ------------------------------------------------------------- seeding
+
+    def invoke(self, tt: TemplateTask, key: Any = None, args: Sequence[Any] = ()) -> None:
+        """Create a task instance directly with all its inputs
+        (``ttg::invoke``): the entry point for INITIATOR-style templates."""
+        self._check_tt(tt)
+        if len(args) != tt.num_inputs:
+            raise DeliveryError(
+                f"invoke({tt.name}) needs {tt.num_inputs} args, got {len(args)}"
+            )
+        rank = tt.keymap(key, self.nranks)
+        self._spawn(tt, key, list(args), rank)
+
+    def inject(
+        self, tt: TemplateTask, which: Union[int, str], key: Any, value: Any = None
+    ) -> None:
+        """Deliver one message into an input terminal from *outside* the
+        graph (external data injection, cf. the paper's future-work item on
+        simplifying data injection).  Charged as a local post on the owner
+        rank; unlike :meth:`invoke` it participates in normal terminal
+        matching, so the task still waits for its other inputs."""
+        self._check_tt(tt)
+        term = tt.in_terminal(which)
+        self.backend.post_local(self._deliver, tt, term.index, key, value)
+
+    def fence(self, max_events: Optional[int] = None) -> float:
+        """Drain all tasks and messages; returns the makespan."""
+        return self.backend.run(max_events=max_events)
+
+    # ------------------------------------------------------------ delivery
+
+    def _check_tt(self, tt: TemplateTask) -> None:
+        if tt.id not in self._tt_ids:
+            raise DeliveryError(f"template task {tt.name} is not part of this graph")
+
+    def send_from(
+        self,
+        src_rank: int,
+        term: OutputTerminal,
+        key: Any,
+        value: Any,
+        mode: str = "value",
+    ) -> None:
+        """Route one message from an output terminal to every consumer."""
+        edge = term.edge
+        edge.check_key(key)
+        edge.check_value(value)
+        if not edge.consumers:
+            raise DeliveryError(
+                f"send on terminal {term.tt.name}.{term.name}: edge "
+                f"{edge.name!r} has no consumers"
+            )
+        backend = self.backend
+        for ctt, cidx in edge.consumers:
+            dst = ctt.keymap(key, self.nranks)
+            if dst == src_rank:
+                backend.stats.local_deliveries += 1
+                v2, delay = backend.maybe_copy_local(value, mode)
+                backend.post_local(self._deliver, ctt, cidx, key, v2, delay=delay)
+            elif value is None:
+                backend.send_control(
+                    src_rank, dst, _Deliver1(self, ctt, cidx, key)
+                )
+            else:
+                backend.send_value(
+                    src_rank,
+                    dst,
+                    value,
+                    _DeliverV(self, ctt, cidx, key),
+                    tag=f"{term.tt.name}->{ctt.name}",
+                )
+
+    def broadcast_from(
+        self,
+        src_rank: int,
+        spec: Sequence[Tuple[OutputTerminal, List[Any]]],
+        value: Any,
+        mode: str = "value",
+    ) -> None:
+        """Optimized broadcast: one payload transfer per destination rank
+        covering all (terminal, key) targets; 'naive' config degrades to
+        per-key sends (the pre-optimization behaviour, for ablations)."""
+        backend = self.backend
+        backend.stats.broadcasts += 1
+        if backend.config.broadcast == "naive":
+            for term, keys in spec:
+                for k in keys:
+                    self.send_from(src_rank, term, k, value, mode)
+            return
+        per_rank: Dict[int, List[Tuple[TemplateTask, int, Any]]] = {}
+        for term, keys in spec:
+            edge = term.edge
+            if not edge.consumers:
+                raise DeliveryError(
+                    f"broadcast on terminal {term.tt.name}.{term.name}: edge "
+                    f"{edge.name!r} has no consumers"
+                )
+            edge.check_value(value)
+            for k in keys:
+                edge.check_key(k)
+                for ctt, cidx in edge.consumers:
+                    dst = ctt.keymap(k, self.nranks)
+                    per_rank.setdefault(dst, []).append((ctt, cidx, k))
+        for dst in sorted(per_rank):
+            targets = per_rank[dst]
+            backend.stats.broadcast_keys_covered += len(targets)
+            if dst == src_rank:
+                backend.stats.local_deliveries += len(targets)
+                v2, delay = backend.maybe_copy_local(value, mode)
+                for ctt, cidx, k in targets:
+                    backend.post_local(self._deliver, ctt, cidx, k, v2, delay=delay)
+            else:
+                backend.stats.broadcast_payloads_sent += 1
+                if value is None:
+                    backend.send_control(
+                        src_rank, dst, _DeliverN(self, targets), nbytes=64 + 16 * len(targets)
+                    )
+                else:
+                    backend.send_value(
+                        src_rank,
+                        dst,
+                        value,
+                        _DeliverNV(self, targets),
+                        extra_bytes=16 * len(targets),
+                        tag="bcast",
+                    )
+
+    def _deliver(self, tt: TemplateTask, idx: int, key: Any, value: Any) -> None:
+        """Terminal logic at the owner rank: accumulate, fire when ready."""
+        pkey = (tt.id, key)
+        p = self._pending.get(pkey)
+        if p is None:
+            p = self._pending[pkey] = _Pending(tt)
+        term = tt.inputs[idx]
+        if term.is_streaming:
+            if p.slots[idx] is _EMPTY:
+                p.slots[idx] = value
+            else:
+                p.slots[idx] = term.reducer(p.slots[idx], value)
+            p.counts[idx] += 1
+            exp = p.expected[idx]
+            if exp is not None and p.counts[idx] > exp:
+                raise StreamError(
+                    f"{tt.name}[{key!r}].{term.name}: stream overflow "
+                    f"({p.counts[idx]} > expected {exp})"
+                )
+        else:
+            if p.slots[idx] is not _EMPTY:
+                raise DeliveryError(
+                    f"duplicate input for {tt.name}[{key!r}].{term.name}"
+                )
+            p.slots[idx] = value
+            p.counts[idx] = 1
+        self._maybe_fire(tt, key, p)
+
+    def _maybe_fire(self, tt: TemplateTask, key: Any, p: _Pending) -> None:
+        for i in range(tt.num_inputs):
+            exp = p.expected[i]
+            if exp is None or p.counts[i] != exp:
+                return
+        del self._pending[(tt.id, key)]
+        args = [None if s is _EMPTY else s for s in p.slots]
+        rank = tt.keymap(key, self.nranks)
+        self._spawn(tt, key, args, rank)
+
+    def _spawn(self, tt: TemplateTask, key: Any, args: List[Any], rank: int) -> None:
+        flops, bytes_moved = tt.cost(key, args)
+        self.task_counts[tt.name] += 1
+        ex = self
+
+        def _run_body() -> None:
+            outs = TaskOutputs(ex, tt, rank)
+            _push_outputs(outs)
+            try:
+                tt.fn(key, *args, outs)
+            finally:
+                _pop_outputs()
+
+        self.backend.submit(
+            rank,
+            _run_body,
+            flops=flops,
+            bytes_moved=bytes_moved,
+            priority=tt.priority(key),
+            name=tt.name,
+            key=key,
+            device=tt.device(key),
+            inputs=tuple(args),
+        )
+
+    # ------------------------------------------------------------- streams
+
+    def set_argstream_size(self, tt: TemplateTask, which: Union[int, str], key: Any, size: int) -> None:
+        """Declare the bounded stream length for ``tt``'s streaming input
+        ``which`` at task ID ``key`` (may arrive before or after data)."""
+        self._check_tt(tt)
+        term = tt.in_terminal(which)
+        if not term.is_streaming:
+            raise StreamError(f"{tt.name}.{term.name} is not a streaming terminal")
+        if size < 0:
+            raise StreamError("stream size must be >= 0")
+        pkey = (tt.id, key)
+        p = self._pending.get(pkey)
+        if p is None:
+            p = self._pending[pkey] = _Pending(tt)
+        cur = p.expected[term.index]
+        if cur is not None and cur != size:
+            raise StreamError(
+                f"{tt.name}[{key!r}].{term.name}: conflicting stream sizes "
+                f"{cur} vs {size}"
+            )
+        if p.counts[term.index] > size:
+            raise StreamError(
+                f"{tt.name}[{key!r}].{term.name}: already received "
+                f"{p.counts[term.index]} > size {size}"
+            )
+        p.expected[term.index] = size
+        self._maybe_fire(tt, key, p)
+
+    def finalize_argstream(self, tt: TemplateTask, which: Union[int, str], key: Any) -> None:
+        """Close the stream: its length becomes the count received so far."""
+        self._check_tt(tt)
+        term = tt.in_terminal(which)
+        if not term.is_streaming:
+            raise StreamError(f"{tt.name}.{term.name} is not a streaming terminal")
+        pkey = (tt.id, key)
+        p = self._pending.get(pkey)
+        if p is None:
+            p = self._pending[pkey] = _Pending(tt)
+        p.expected[term.index] = p.counts[term.index]
+        self._maybe_fire(tt, key, p)
+
+    def set_stream_size_via(
+        self, src_rank: int, term: OutputTerminal, key: Any, size: int
+    ) -> None:
+        """Stream-size control routed through an *output* terminal: applies
+        to every consumer of its edge, with a control message if remote."""
+        for ctt, cidx in term.edge.consumers:
+            dst = ctt.keymap(key, self.nranks)
+            if dst == src_rank:
+                self.backend.post_local(self.set_argstream_size, ctt, cidx, key, size)
+            else:
+                self.backend.send_control(
+                    src_rank, dst, _SetSize(self, ctt, cidx, key, size)
+                )
+
+    def finalize_stream_via(self, src_rank: int, term: OutputTerminal, key: Any) -> None:
+        for ctt, cidx in term.edge.consumers:
+            dst = ctt.keymap(key, self.nranks)
+            if dst == src_rank:
+                self.backend.post_local(self.finalize_argstream, ctt, cidx, key)
+            else:
+                self.backend.send_control(
+                    src_rank, dst, _Finalize(self, ctt, cidx, key)
+                )
+
+    # -------------------------------------------------------------- status
+
+    @property
+    def pending_instances(self) -> int:
+        """Task instances waiting for inputs right now."""
+        return len(self._pending)
+
+
+# Small callable records instead of lambda closures: cheaper and they keep
+# tracebacks readable when a delivery fails deep inside the event loop.
+
+
+class _Deliver1:
+    __slots__ = ("ex", "tt", "idx", "key")
+
+    def __init__(self, ex: Executable, tt: TemplateTask, idx: int, key: Any) -> None:
+        self.ex, self.tt, self.idx, self.key = ex, tt, idx, key
+
+    def __call__(self) -> None:
+        self.ex._deliver(self.tt, self.idx, self.key, None)
+
+
+class _DeliverV:
+    __slots__ = ("ex", "tt", "idx", "key")
+
+    def __init__(self, ex: Executable, tt: TemplateTask, idx: int, key: Any) -> None:
+        self.ex, self.tt, self.idx, self.key = ex, tt, idx, key
+
+    def __call__(self, value: Any) -> None:
+        self.ex._deliver(self.tt, self.idx, self.key, value)
+
+
+class _DeliverN:
+    __slots__ = ("ex", "targets")
+
+    def __init__(self, ex: Executable, targets: List[Tuple[TemplateTask, int, Any]]) -> None:
+        self.ex, self.targets = ex, targets
+
+    def __call__(self) -> None:
+        for tt, idx, key in self.targets:
+            self.ex._deliver(tt, idx, key, None)
+
+
+class _DeliverNV:
+    __slots__ = ("ex", "targets")
+
+    def __init__(self, ex: Executable, targets: List[Tuple[TemplateTask, int, Any]]) -> None:
+        self.ex, self.targets = ex, targets
+
+    def __call__(self, value: Any) -> None:
+        for tt, idx, key in self.targets:
+            self.ex._deliver(tt, idx, key, value)
+
+
+class _SetSize:
+    __slots__ = ("ex", "tt", "idx", "key", "size")
+
+    def __init__(self, ex: Executable, tt: TemplateTask, idx: int, key: Any, size: int) -> None:
+        self.ex, self.tt, self.idx, self.key, self.size = ex, tt, idx, key, size
+
+    def __call__(self) -> None:
+        self.ex.set_argstream_size(self.tt, self.idx, self.key, self.size)
+
+
+class _Finalize:
+    __slots__ = ("ex", "tt", "idx", "key")
+
+    def __init__(self, ex: Executable, tt: TemplateTask, idx: int, key: Any) -> None:
+        self.ex, self.tt, self.idx, self.key = ex, tt, idx, key
+
+    def __call__(self) -> None:
+        self.ex.finalize_argstream(self.tt, self.idx, self.key)

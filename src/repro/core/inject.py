@@ -1,0 +1,92 @@
+"""Data-injection helpers (the paper's Future Work: "simplify data
+injection in the DAG of tasks").
+
+Every application needs an INITIATOR: a per-rank template task that reads
+locally owned data and sends it into the graph.  These helpers generate
+such templates from a container + routing function, removing the
+boilerplate seen in the Cholesky/FW examples:
+
+>>> init = make_initiator(items, owner_of, route, output_edges, name="INIT")
+>>> ...
+>>> seed_initiator(ex, init)   # one invoke per rank
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence, Tuple
+
+from repro.core.edge import Edge
+from repro.core.messaging import TaskOutputs
+from repro.core.task import TemplateTask, make_tt
+
+#: A routing decision: (output terminal index or name, task ID, value).
+Route = Tuple[Any, Any, Any]
+
+
+def make_initiator(
+    items: Iterable[Any],
+    owner_of: Callable[[Any], int],
+    route: Callable[[Any], Route],
+    output_edges: Sequence[Edge],
+    name: str = "INITIATOR",
+    mode: str = "value",
+) -> TemplateTask:
+    """Build a per-rank initiator template.
+
+    Parameters
+    ----------
+    items:
+        The data items to inject (materialized once at build time).
+    owner_of:
+        Maps an item to the rank that owns (and will inject) it.
+    route:
+        Maps an item to ``(terminal, task ID, value)``.
+    output_edges:
+        The edges the initiator can send into, in terminal order.
+    mode:
+        Copy semantics for the injected values (default: copy, so the
+        source container is never mutated by the graph).
+    """
+    all_items = list(items)
+
+    def body(rank: int, outs: TaskOutputs) -> None:
+        for item in all_items:
+            if owner_of(item) != rank:
+                continue
+            terminal, key, value = route(item)
+            outs.send(terminal, key, value, mode=mode)
+
+    return make_tt(body, [], list(output_edges), name=name, keymap=lambda r: r)
+
+
+def make_matrix_initiator(
+    matrix: Any,
+    route: Callable[[int, int, Any], Route],
+    output_edges: Sequence[Edge],
+    name: str = "INITIATOR",
+    lower_only: bool = False,
+) -> TemplateTask:
+    """Initiator over a :class:`~repro.linalg.tiled_matrix.TiledMatrix`.
+
+    ``route(i, j, tile) -> (terminal, key, value)`` decides where each tile
+    enters the graph; tiles are cloned on injection so the matrix is not
+    mutated.
+    """
+
+    def body(rank: int, outs: TaskOutputs) -> None:
+        nt = matrix.nt
+        for i in range(nt):
+            cols = range(i + 1) if lower_only else range(nt)
+            for j in cols:
+                if matrix.rank_of(i, j) != rank:
+                    continue
+                terminal, key, value = route(i, j, matrix.tile_at(i, j))
+                outs.send(terminal, key, value, mode="value")
+
+    return make_tt(body, [], list(output_edges), name=name, keymap=lambda r: r)
+
+
+def seed_initiator(ex: Any, initiator: TemplateTask) -> None:
+    """Invoke the initiator once per rank (the standard seeding idiom)."""
+    for rank in range(ex.nranks):
+        ex.invoke(initiator, rank)

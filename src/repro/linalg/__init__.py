@@ -1,0 +1,55 @@
+"""Linear-algebra substrate: tiles, tiled matrices, kernels, generators.
+
+Everything the dense/sparse applications need: a :class:`MatrixTile` with
+split-metadata serialization support, 2-D block-cyclic :class:`TiledMatrix`
+distribution, BLAS/LAPACK-style tile kernels with analytic flop counts, an
+irregularly tiled :class:`BlockSparseMatrix`, and workload generators
+(SPD matrices, Yukawa-like block-sparse matrices, random digraphs).
+"""
+
+from repro.linalg.tile import MatrixTile
+from repro.linalg.tiled_matrix import TiledMatrix, BlockCyclicDistribution, grid_dims
+from repro.linalg.kernels import (
+    potrf,
+    trsm,
+    syrk,
+    gemm,
+    fw_kernel,
+    potrf_flops,
+    trsm_flops,
+    syrk_flops,
+    gemm_flops,
+    fw_flops,
+    cholesky_total_flops,
+    fw_total_flops,
+)
+from repro.linalg.blocksparse import BlockSparseMatrix, IrregularTiling
+from repro.linalg.generators import (
+    spd_matrix,
+    random_weight_matrix,
+    yukawa_blocksparse,
+)
+
+__all__ = [
+    "MatrixTile",
+    "TiledMatrix",
+    "BlockCyclicDistribution",
+    "grid_dims",
+    "potrf",
+    "trsm",
+    "syrk",
+    "gemm",
+    "fw_kernel",
+    "potrf_flops",
+    "trsm_flops",
+    "syrk_flops",
+    "gemm_flops",
+    "fw_flops",
+    "cholesky_total_flops",
+    "fw_total_flops",
+    "BlockSparseMatrix",
+    "IrregularTiling",
+    "spd_matrix",
+    "random_weight_matrix",
+    "yukawa_blocksparse",
+]

@@ -1,0 +1,53 @@
+"""Task runtimes ("TTG backends", Section II-D).
+
+The TTG layer is a higher-level abstraction over a low-level distributed
+task runtime.  Two backends are provided, mirroring the paper:
+
+- :class:`~repro.runtime.parsec.ParsecBackend` -- the performance vehicle:
+  RMA/splitmd transfers, runtime-owned data (no copies for const-ref sends),
+  cheap communication progress, MCA-style pluggable schedulers.
+- :class:`~repro.runtime.madness.MadnessBackend` -- the proof-of-concept
+  backend: futures + global namespace + remote method invocation, a single
+  AM server thread, full-object serialization with buffer copies.
+
+Both support the full TTG feature set; they differ only in performance
+characteristics, exactly as the paper states.
+"""
+
+from repro.runtime.base import Backend, BackendConfig, RunStats, WorkerPool
+from repro.runtime.scheduler import get_scheduler, SCHEDULER_NAMES
+from repro.runtime.futures import Future, FutureError
+from repro.runtime.termination import TerminationDetector, DijkstraScholten
+from repro.runtime.parsec import ParsecBackend
+from repro.runtime.madness import MadnessBackend
+from repro.runtime.world import World
+
+BACKENDS = {"parsec": ParsecBackend, "madness": MadnessBackend}
+
+
+def make_backend(name, cluster, **kwargs):
+    """Instantiate a backend by name ('parsec' or 'madness')."""
+    try:
+        cls = BACKENDS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown backend {name!r}; known: {sorted(BACKENDS)}") from None
+    return cls(cluster, **kwargs)
+
+
+__all__ = [
+    "Backend",
+    "BackendConfig",
+    "RunStats",
+    "WorkerPool",
+    "get_scheduler",
+    "SCHEDULER_NAMES",
+    "Future",
+    "FutureError",
+    "TerminationDetector",
+    "DijkstraScholten",
+    "ParsecBackend",
+    "MadnessBackend",
+    "World",
+    "BACKENDS",
+    "make_backend",
+]

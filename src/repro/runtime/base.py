@@ -1,0 +1,463 @@
+"""Backend base: worker pools, message transport, data life-cycle, stats.
+
+A backend provides exactly what the paper says one must (II-D): the ability
+to schedule and execute tasks, plus resource management and coordination for
+communication and computation in a distributed setting.  The TTG core layer
+(:mod:`repro.core`) is backend-agnostic and drives this interface:
+
+- :meth:`Backend.submit` -- enqueue a ready task on a rank's worker pool.
+- :meth:`Backend.post_local` -- deliver a local message (after the current
+  event, preserving send order).
+- :meth:`Backend.send_value` -- serialize a value with the best available
+  protocol and deliver it on the destination rank (eager or splitmd+RMA).
+- :meth:`Backend.send_control` -- small control-only active message.
+- :meth:`Backend.run` -- drain the event queue and validate termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+from repro.comm.endpoint import CommEngine
+from repro.comm.rma import RmaWindow
+from repro.runtime.scheduler import get_scheduler
+from repro.runtime.termination import TerminationDetector
+from repro.serialization.splitmd import unpack_metadata
+from repro.serialization.traits import select_protocol
+from repro.sim.cluster import Cluster
+from repro.sim.trace import Tracer
+
+#: Size charged for control-only active messages (task-id only, no data).
+CONTROL_BYTES = 64
+
+
+@dataclass
+class BackendConfig:
+    """Tunable backend behaviour (the ablation benches sweep these).
+
+    Attributes
+    ----------
+    scheduler:
+        Ready-queue policy name ('lifo' | 'fifo' | 'priority').
+    broadcast:
+        'optimized' dedups payload transfers per destination rank;
+        'naive' sends one full payload per destination *key*.
+    serialization_allowed:
+        Optional protocol whitelist, e.g. ``("generic",)`` to disable
+        splitmd in an ablation.
+    supports_splitmd:
+        Whether the backend offers RMA-based splitmd transfers.
+    copy_on_cref:
+        Whether passing data by const-ref still copies (True for the
+        MADNESS backend, which does not own the data life-cycle).
+    am_cost_per_byte:
+        Per-byte AM-server processing (models a single comm thread choking
+        on message volume; ~0 for PaRSEC).
+    """
+
+    scheduler: str = "priority"
+    broadcast: str = "optimized"
+    serialization_allowed: Optional[Tuple[str, ...]] = None
+    supports_splitmd: bool = True
+    copy_on_cref: bool = False
+    am_cost_per_byte: float = 0.0
+
+
+@dataclass
+class RunStats:
+    """Aggregate counters for one execution."""
+
+    tasks_executed: int = 0
+    local_deliveries: int = 0
+    remote_messages: int = 0
+    remote_bytes: int = 0
+    rma_transfers: int = 0
+    rma_bytes: int = 0
+    copies: int = 0
+    copy_bytes: int = 0
+    splitmd_releases: int = 0
+    broadcasts: int = 0
+    broadcast_payloads_sent: int = 0
+    broadcast_keys_covered: int = 0
+    makespan: float = 0.0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class _ReadyTask:
+    """A task instance bound for a worker pool."""
+
+    __slots__ = ("fn", "flops", "bytes_moved", "priority", "name", "key",
+                 "device", "inputs")
+
+    def __init__(
+        self,
+        fn: Callable[[], None],
+        flops: float,
+        bytes_moved: float,
+        priority: int,
+        name: str,
+        key: Any,
+        device: str = "cpu",
+        inputs: Tuple[Any, ...] = (),
+    ) -> None:
+        self.fn = fn
+        self.flops = flops
+        self.bytes_moved = bytes_moved
+        self.priority = priority
+        self.name = name
+        self.key = key
+        self.device = device
+        self.inputs = inputs
+
+
+class WorkerPool:
+    """Per-rank pool of simulated workers (and accelerator slots) draining
+    device-specific ready queues.
+
+    Accelerator tasks pay PCIe transfers for inputs not already resident on
+    the rank's device memory (a simple grow-only residency cache: producers
+    and consumers that stay on the device reuse operands for free).
+    """
+
+    def __init__(self, backend: "Backend", rank: int) -> None:
+        self.backend = backend
+        self.rank = rank
+        node = backend.cluster.node
+        self.nworkers = node.workers
+        self._idle = list(range(node.workers - 1, -1, -1))
+        self._queue = get_scheduler(backend.config.scheduler)
+        self._gpu_idle = list(range(node.gpus - 1, -1, -1))
+        self._gpu_queue = get_scheduler(backend.config.scheduler)
+        self._resident: set = set()
+        self._node = node
+        self.gpu_tasks_executed = 0
+        self.gpu_transfer_bytes = 0
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue) + len(self._gpu_queue)
+
+    @property
+    def busy_workers(self) -> int:
+        return self.nworkers - len(self._idle)
+
+    def submit(self, task: _ReadyTask) -> None:
+        if task.device == "gpu":
+            if self._node.gpus < 1:
+                raise RuntimeError(
+                    f"task {task.name}[{task.key!r}] requests a GPU but the "
+                    "node has none"
+                )
+            self._gpu_queue.push(task, task.priority)
+        else:
+            self._queue.push(task, task.priority)
+        self._dispatch()
+
+    def _transfer_bytes(self, task: _ReadyTask) -> int:
+        """PCIe bytes for inputs not yet resident on the device."""
+        total = 0
+        for obj in task.inputs:
+            nbytes = int(getattr(obj, "nbytes", 0) or 0)
+            if nbytes == 0:
+                continue
+            oid = id(obj)
+            if oid not in self._resident:
+                total += nbytes
+                self._resident.add(oid)
+        return total
+
+    def _dispatch(self) -> None:
+        engine = self.backend.engine
+        while self._idle and self._queue:
+            task = self._queue.pop()
+            worker = self._idle.pop()
+            start = engine.now
+            duration = self._node.compute_time(task.flops, task.bytes_moved)
+            engine.schedule_at(start + duration, self._complete, task, worker, start)
+        while self._gpu_idle and self._gpu_queue:
+            task = self._gpu_queue.pop()
+            slot = self._gpu_idle.pop()
+            start = engine.now
+            transfer = self._transfer_bytes(task)
+            self.gpu_transfer_bytes += transfer
+            duration = self._node.gpu_compute_time(task.flops, transfer)
+            engine.schedule_at(
+                start + duration, self._complete_gpu, task, slot, start
+            )
+
+    def _complete(self, task: _ReadyTask, worker: int, start: float) -> None:
+        backend = self.backend
+        if backend.tracer is not None:
+            backend.tracer.record_task(
+                task.name, task.key, self.rank, worker, start, backend.engine.now
+            )
+        backend.stats.tasks_executed += 1
+        try:
+            task.fn()
+        finally:
+            self._idle.append(worker)
+            backend.termination.task_retired()
+            self._dispatch()
+
+    def _complete_gpu(self, task: _ReadyTask, slot: int, start: float) -> None:
+        backend = self.backend
+        if backend.tracer is not None:
+            backend.tracer.record_task(
+                f"{task.name}@gpu", task.key, self.rank, self.nworkers + slot,
+                start, backend.engine.now,
+            )
+        backend.stats.tasks_executed += 1
+        self.gpu_tasks_executed += 1
+        try:
+            task.fn()
+        finally:
+            self._gpu_idle.append(slot)
+            backend.termination.task_retired()
+            self._dispatch()
+
+
+class Backend:
+    """Shared machinery of the PaRSEC and MADNESS backends."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[BackendConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.config = config or BackendConfig()
+        self.tracer = tracer
+        self.stats = RunStats()
+        self.termination = TerminationDetector()
+        base_am = cluster.machine.network.am_overhead
+        per_byte = self.config.am_cost_per_byte
+        self.comm = CommEngine(
+            cluster,
+            am_cost_fn=lambda dst, nbytes: base_am + nbytes * per_byte,
+            tracer=tracer,
+        )
+        self.rma = RmaWindow(self.comm)
+        self.pools = [WorkerPool(self, r) for r in range(cluster.nranks)]
+
+    # ------------------------------------------------------------------ info
+
+    @property
+    def nranks(self) -> int:
+        return self.cluster.nranks
+
+    @property
+    def supports_splitmd(self) -> bool:
+        return self.config.supports_splitmd
+
+    # ----------------------------------------------------------------- tasks
+
+    def submit(
+        self,
+        rank: int,
+        fn: Callable[[], None],
+        *,
+        flops: float = 0.0,
+        bytes_moved: float = 0.0,
+        priority: int = 0,
+        name: str = "task",
+        key: Any = None,
+        device: str = "cpu",
+        inputs: Tuple[Any, ...] = (),
+    ) -> None:
+        """Enqueue a ready task on ``rank``'s worker pool (or its device
+        queue when ``device == 'gpu'``; ``inputs`` feed the residency
+        tracker for PCIe-transfer accounting)."""
+        self.termination.task_created()
+        self.pools[rank].submit(
+            _ReadyTask(fn, flops, bytes_moved, priority, name, key, device, inputs)
+        )
+
+    def post_local(self, fn: Callable[..., None], *args: Any, delay: float = 0.0) -> None:
+        """Run ``fn`` after the current event (plus ``delay``).
+
+        Used for rank-local message delivery so that all sends made by a
+        task body take effect after the body returns, in send order; the
+        delay charges local copy costs.
+        """
+        self.termination.task_created()
+
+        def _run() -> None:
+            try:
+                fn(*args)
+            finally:
+                self.termination.task_retired()
+
+        self.engine.schedule(delay, _run)
+
+    # -------------------------------------------------------------- messages
+
+    def serialize(self, value: Any):
+        """Pick the protocol for ``value`` under this backend's rules.
+
+        splitmd is only worth its extra round-trips for payloads beyond the
+        eager threshold; small objects always go eager.
+        """
+        splitmd_ok = self.config.supports_splitmd and (
+            int(getattr(value, "nbytes", 0) or 0)
+            > self.cluster.machine.network.eager_threshold
+        )
+        return select_protocol(
+            value,
+            backend_supports_splitmd=splitmd_ok,
+            allowed=self.config.serialization_allowed,
+        )
+
+    def send_control(
+        self, src: int, dst: int, on_deliver: Callable[[], None], nbytes: int = CONTROL_BYTES
+    ) -> None:
+        """Small control-only active message (task id, no data)."""
+        self.termination.message_sent()
+        self.stats.remote_messages += 1
+        self.stats.remote_bytes += nbytes
+
+        def _handler() -> None:
+            self.termination.message_delivered()
+            on_deliver()
+
+        self.comm.send_am(src, dst, nbytes, _handler, tag="ctrl")
+
+    def send_value(
+        self,
+        src: int,
+        dst: int,
+        value: Any,
+        on_deliver: Callable[[Any], None],
+        *,
+        tag: str = "data",
+        extra_bytes: int = 0,
+    ) -> None:
+        """Serialize ``value`` and deliver a reconstructed copy at ``dst``.
+
+        Chooses the protocol per the trait order; splitmd sends metadata
+        eagerly, RMA-gets the payload, then notifies the sender to release
+        the source object.  Copy costs are charged to virtual time.
+        ``extra_bytes`` rides along in the eager part (e.g. the task-ID list
+        of an optimized broadcast).
+        """
+        proto = self.serialize(value)
+        msg = proto.serialize(value)
+        msg.eager_bytes += extra_bytes
+        node = self.cluster.node
+        self.termination.message_sent()
+        self.stats.remote_messages += 1
+        self.stats.remote_bytes += msg.total_bytes
+        send_start = self.engine.now
+        if msg.sender_copy_bytes:
+            self.stats.copies += 1
+            self.stats.copy_bytes += msg.sender_copy_bytes
+            send_start += node.copy_time(msg.sender_copy_bytes)
+
+        if msg.protocol == "splitmd":
+            meta_bytes, payload = msg.payload
+            handle = self.rma.register(src, payload, max(msg.rma_bytes, 1))
+            self.stats.rma_transfers += 1
+            self.stats.rma_bytes += msg.rma_bytes
+
+            def _on_meta() -> None:
+                cls, meta = unpack_metadata(meta_bytes)
+                obj = cls.splitmd_allocate(meta)
+
+                def _on_payload(data: Any) -> None:
+                    if data is not None:
+                        obj.splitmd_fill(data)
+                    # Notify the sender to release the registered region.
+                    self.comm.send_am(
+                        dst, src, CONTROL_BYTES, self._release_handle, handle, tag="rel"
+                    )
+                    self.termination.message_delivered()
+                    on_deliver(obj)
+
+                self.rma.get(dst, handle, _on_payload)
+
+            self.comm.send_am(src, dst, msg.eager_bytes, _on_meta, start=send_start, tag=tag)
+        else:
+            recv_copy = msg.receiver_copy_bytes
+            server_time = node.copy_time(recv_copy) if self._copies_block_am_server() else 0.0
+
+            def _on_arrival() -> None:
+                if recv_copy:
+                    self.stats.copies += 1
+                    self.stats.copy_bytes += recv_copy
+
+                def _deliver() -> None:
+                    self.termination.message_delivered()
+                    on_deliver(proto.deserialize(msg))
+
+                if server_time > 0.0:
+                    _deliver()  # copy time already occupied the AM server
+                else:
+                    self.engine.schedule(node.copy_time(recv_copy) if recv_copy else 0.0, _deliver)
+
+            self.comm.send_am(
+                src,
+                dst,
+                msg.eager_bytes,
+                _on_arrival,
+                start=send_start,
+                tag=tag,
+                extra_server_time=server_time,
+            )
+
+    def _release_handle(self, handle: int) -> None:
+        self.rma.release(handle)
+        self.stats.splitmd_releases += 1
+
+    def _copies_block_am_server(self) -> bool:
+        """Whether receiver-side deserialization occupies the AM server
+        (True for MADNESS's single server thread)."""
+        return False
+
+    # ------------------------------------------------------------- data copy
+
+    def maybe_copy_local(self, value: Any, mode: str) -> Tuple[Any, float]:
+        """Apply TTG copy semantics for a rank-local delivery.
+
+        ``mode`` is 'value' (copy so the sender may keep mutating), 'cref'
+        (no copy if the runtime owns the data life-cycle) or 'move' (never
+        copy; sender relinquishes the object).  Returns the (possibly
+        cloned) value and the copy delay to charge before delivery.
+        """
+        need_copy = mode == "value" or (mode == "cref" and self.config.copy_on_cref)
+        if not need_copy:
+            return value, 0.0
+        nbytes = int(getattr(value, "nbytes", 0) or 0)
+        delay = 0.0
+        if nbytes:
+            self.stats.copies += 1
+            self.stats.copy_bytes += nbytes
+            delay = self.cluster.node.copy_time(nbytes)
+        clone = getattr(value, "clone", None)
+        return (clone() if callable(clone) else value), delay
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, max_events: Optional[int] = None) -> float:
+        """Drain all events; returns the makespan (final virtual time).
+
+        Validates termination (no lost messages/tasks) and the data
+        life-cycle (every splitmd source released -- the PaRSEC backend
+        owns the data flowing through the graph, so a leak is a bug).
+        """
+        self.engine.run(max_events=max_events)
+        self.termination.validate()
+        if max_events is None and self.rma.live_handles():
+            from repro.comm.rma import RmaError
+
+            raise RmaError(
+                f"{self.rma.live_handles()} splitmd source objects were "
+                "never released (data life-cycle leak)"
+            )
+        self.stats.makespan = self.engine.now
+        return self.engine.now

@@ -1,0 +1,99 @@
+"""Futures: single-assignment values with callbacks (MADNESS's core element).
+
+The MADNESS parallel runtime builds everything on futures for latency hiding
+and dependency management (paper II-D).  These futures are used by the
+MADNESS :class:`~repro.runtime.world.World` RMI layer and by the native
+MADNESS MRA baseline; they are deliberately synchronous-callback-based since
+the discrete-event engine provides the asynchrony.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class FutureError(RuntimeError):
+    """Raised on double assignment or premature get."""
+
+
+class Future(Generic[T]):
+    """A single-assignment container.
+
+    >>> f = Future()
+    >>> seen = []
+    >>> f.add_callback(seen.append)
+    >>> f.set(42)
+    >>> f.get(), seen
+    (42, [42])
+    """
+
+    __slots__ = ("_value", "_set", "_callbacks")
+
+    def __init__(self) -> None:
+        self._value: Optional[T] = None
+        self._set = False
+        self._callbacks: List[Callable[[T], Any]] = []
+
+    @classmethod
+    def ready(cls, value: T) -> "Future[T]":
+        """An already-fulfilled future."""
+        f: Future[T] = cls()
+        f.set(value)
+        return f
+
+    @property
+    def done(self) -> bool:
+        return self._set
+
+    def set(self, value: T) -> None:
+        if self._set:
+            raise FutureError("future already assigned")
+        self._value = value
+        self._set = True
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(value)
+
+    def get(self) -> T:
+        if not self._set:
+            raise FutureError("future not yet assigned (would deadlock)")
+        return self._value  # type: ignore[return-value]
+
+    def add_callback(self, cb: Callable[[T], Any]) -> None:
+        """Run ``cb(value)`` when assigned (immediately if already done)."""
+        if self._set:
+            cb(self._value)  # type: ignore[arg-type]
+        else:
+            self._callbacks.append(cb)
+
+    def then(self, fn: Callable[[T], Any]) -> "Future[Any]":
+        """Chain: returns a future of ``fn(value)``."""
+        out: Future[Any] = Future()
+        self.add_callback(lambda v: out.set(fn(v)))
+        return out
+
+
+def when_all(futures: List[Future[Any]]) -> Future[List[Any]]:
+    """Future of the list of values, fulfilled when every input is."""
+    out: Future[List[Any]] = Future()
+    n = len(futures)
+    if n == 0:
+        out.set([])
+        return out
+    remaining = [n]
+    values: List[Any] = [None] * n
+
+    def make_cb(i: int) -> Callable[[Any], None]:
+        def cb(v: Any) -> None:
+            values[i] = v
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                out.set(values)
+
+        return cb
+
+    for i, f in enumerate(futures):
+        f.add_callback(make_cb(i))
+    return out

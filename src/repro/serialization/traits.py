@@ -1,0 +1,72 @@
+"""Type traits and protocol selection (paper II-C, last paragraph).
+
+``select_protocol`` picks, for a given value, the best applicable protocol in
+the paper's preference order::
+
+    splitmd (if the backend supports RMA) > trivial > generic > madness
+
+Types may be registered as trivially serializable; alternatively a type can
+expose ``__trivially_serializable__ = True``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Set, Type
+
+from repro.serialization.protocols import PROTOCOLS, Protocol
+from repro.serialization.splitmd import SplitMetadataProtocol
+
+_SPLITMD = SplitMetadataProtocol()
+_TRIVIAL_TYPES: Set[type] = {int, float, bool, complex}
+
+
+def register_trivial(cls: Type[Any]) -> Type[Any]:
+    """Class decorator / function registering a fixed-size POD type."""
+    _TRIVIAL_TYPES.add(cls)
+    return cls
+
+
+def is_trivially_serializable(value: Any) -> bool:
+    """True for registered PODs, small scalar tuples, and opted-in types."""
+    if type(value) in _TRIVIAL_TYPES:
+        return True
+    if getattr(type(value), "__trivially_serializable__", False):
+        return True
+    if isinstance(value, tuple) and all(type(v) in _TRIVIAL_TYPES for v in value):
+        return True
+    return False
+
+
+def supports_splitmd(value: Any) -> bool:
+    """True when the value implements the intrusive splitmd interface."""
+    return _SPLITMD.applicable(value)
+
+
+def select_protocol(
+    value: Any,
+    *,
+    backend_supports_splitmd: bool = False,
+    allowed: Optional[Iterable[str]] = None,
+) -> Protocol:
+    """Choose the best applicable serialization protocol for ``value``.
+
+    Parameters
+    ----------
+    backend_supports_splitmd:
+        The splitmd protocol needs backend RMA support (PaRSEC backend only,
+        per the paper).
+    allowed:
+        Optional whitelist of protocol names (used by ablation benches to
+        force e.g. generic serialization).
+    """
+    order: list[Protocol] = []
+    if backend_supports_splitmd:
+        order.append(_SPLITMD)
+    order.extend(PROTOCOLS[name] for name in ("trivial", "generic", "madness"))
+    if allowed is not None:
+        allowed_set = set(allowed)
+        order = [p for p in order if p.name in allowed_set]
+    for proto in order:
+        if proto.applicable(value):
+            return proto
+    raise TypeError(f"no serialization protocol applicable to {type(value).__name__}")

@@ -1,0 +1,124 @@
+"""Machine presets and the Cluster object binding nodes + network + engine.
+
+The presets mirror Table I / Section III-A of the paper:
+
+- **Hawk** (HLRS): dual-socket 64-core AMD EPYC 7742 (we model the single
+  NUMA domain the paper pins to: 60 worker threads), Mellanox InfiniBand
+  HDR-200 (~25 GB/s per port, ~1.1 us latency).
+- **Seawulf** (Stony Brook): dual-socket Intel Xeon Gold 6148 (40 cores,
+  38 workers after reserving cores), InfiniBand FDR (~6.8 GB/s, ~1.3 us).
+
+Absolute flop rates are calibration constants, documented here and surfaced
+by the Table I benchmark; only curve shapes are claimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.sim.engine import Engine
+from repro.sim.network import NetworkModel, NetworkSpec
+from repro.sim.node import NodeSpec
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A named (node, network) pair representing one cluster."""
+
+    name: str
+    node: NodeSpec
+    network: NetworkSpec
+    description: str = ""
+
+    def with_workers(self, workers: int) -> "MachineSpec":
+        """Preset variant with a different worker count per node."""
+        return replace(self, node=replace(self.node, workers=workers))
+
+
+# EPYC 7742 @2.25 GHz, 16 DP flop/cycle AVX2 => ~36 Gflop/s per core peak;
+# we model ~70% sustained for tuned BLAS-3 kernels.
+HAWK = MachineSpec(
+    name="hawk",
+    node=NodeSpec(
+        workers=60,
+        flops_per_worker=25.0e9,
+        mem_bandwidth=300.0e9,
+        task_overhead=2.0e-6,
+        copy_bandwidth=8.0e9,
+    ),
+    network=NetworkSpec(
+        latency=1.1e-6,
+        bandwidth=24.0e9,
+        eager_threshold=8192,
+        am_overhead=0.5e-6,
+        bisection_per_node=12.0e9,
+    ),
+    description="HPE Apollo, AMD EPYC 7742, IB HDR-200 (HLRS Stuttgart)",
+)
+
+# Xeon Gold 6148 @2.4 GHz AVX-512: ~50 Gflop/s sustained per core is
+# optimistic under throttling; we model ~28.
+SEAWULF = MachineSpec(
+    name="seawulf",
+    node=NodeSpec(
+        workers=38,
+        flops_per_worker=28.0e9,
+        mem_bandwidth=200.0e9,
+        task_overhead=2.5e-6,
+        copy_bandwidth=6.0e9,
+    ),
+    network=NetworkSpec(
+        latency=1.3e-6,
+        bandwidth=6.8e9,
+        eager_threshold=8192,
+        am_overhead=0.7e-6,
+        bisection_per_node=3.4e9,
+    ),
+    description="Intel Xeon Gold 6148, IB FDR (Stony Brook)",
+)
+
+_MACHINES: Dict[str, MachineSpec] = {"hawk": HAWK, "seawulf": SEAWULF}
+
+
+def machine_by_name(name: str) -> MachineSpec:
+    """Look up a machine preset; raises KeyError with the known names."""
+    try:
+        return _MACHINES[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown machine {name!r}; known: {sorted(_MACHINES)}") from None
+
+
+@dataclass
+class Cluster:
+    """A concrete virtual machine: N nodes of one MachineSpec plus an engine.
+
+    One simulated process (rank) runs per node, matching the paper's
+    process-per-node + worker-threads configuration.
+    """
+
+    machine: MachineSpec
+    nnodes: int
+    engine: Engine = field(default_factory=Engine)
+
+    def __post_init__(self) -> None:
+        if self.nnodes < 1:
+            raise ValueError("nnodes must be >= 1")
+        self.network = NetworkModel(self.machine.network, self.nnodes, self.engine)
+
+    @property
+    def node(self) -> NodeSpec:
+        return self.machine.node
+
+    @property
+    def nranks(self) -> int:
+        return self.nnodes
+
+    @property
+    def total_workers(self) -> int:
+        return self.nnodes * self.machine.node.workers
+
+    @property
+    def peak_gflops(self) -> float:
+        """Aggregate peak of the virtual machine in Gflop/s."""
+        return self.total_workers * self.machine.node.flops_per_worker / 1.0e9

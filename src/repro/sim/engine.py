@@ -1,0 +1,150 @@
+"""Discrete-event engine: a priority queue of timestamped callbacks.
+
+The engine is intentionally minimal -- everything else (workers, NICs,
+schedulers) is built out of ``schedule``/``run``.  Determinism is guaranteed
+by breaking time ties with a monotonically increasing sequence number, so two
+events at the same virtual time always fire in the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)``; ``fn`` and ``args`` are excluded
+    from the ordering so arbitrary callables can be scheduled.
+    """
+
+    time: float
+    seq: int
+    fn: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EngineError(RuntimeError):
+    """Raised on misuse of the engine (e.g. scheduling in the past)."""
+
+
+class Engine:
+    """Virtual clock plus an event heap.
+
+    >>> eng = Engine()
+    >>> hits = []
+    >>> _ = eng.schedule(1.0, hits.append, "a")
+    >>> _ = eng.schedule(0.5, hits.append, "b")
+    >>> eng.run()
+    >>> hits
+    ['b', 'a']
+    >>> eng.now
+    1.0
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._events_processed: int = 0
+        self._running: bool = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of (non-cancelled) events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise EngineError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        ev = Event(time=time, seq=self._seq, fn=fn, args=args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise EngineError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def empty(self) -> bool:
+        """True when no runnable (non-cancelled) events remain."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return not self._heap
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is drained."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._events_processed += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once virtual time would exceed this bound (the clock is
+            advanced to ``until`` if events remain beyond it).
+        max_events:
+            Safety valve: stop after this many events.
+        """
+        if self._running:
+            raise EngineError("re-entrant Engine.run()")
+        self._running = True
+        try:
+            n = 0
+            while True:
+                while self._heap and self._heap[0].cancelled:
+                    heapq.heappop(self._heap)
+                if not self._heap:
+                    return
+                if until is not None and self._heap[0].time > until:
+                    self._now = until
+                    return
+                if max_events is not None and n >= max_events:
+                    return
+                self.step()
+                n += 1
+        finally:
+            self._running = False
+
+    def reset(self) -> None:
+        """Clear all state; clock back to zero."""
+        self._heap.clear()
+        self._now = 0.0
+        self._seq = 0
+        self._events_processed = 0

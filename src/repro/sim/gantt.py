@@ -1,0 +1,98 @@
+"""Gantt-chart SVG export for traced executions (no plotting dependency).
+
+``gantt_svg(tracer, cluster)`` renders one lane per (rank, worker) with a
+colored rectangle per task, colored consistently per template name --
+enough to eyeball pipelining, bubbles and load imbalance in a browser.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.cluster import Cluster
+from repro.sim.trace import Tracer
+
+#: Color cycle (Okabe-Ito-ish, readable on white).
+_COLORS = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00",
+    "#CC79A7", "#56B4E9", "#F0E442", "#999999",
+]
+
+
+def gantt_svg(
+    tracer: Tracer,
+    cluster: Optional[Cluster] = None,
+    width: int = 960,
+    lane_height: int = 12,
+    max_lanes: int = 200,
+) -> str:
+    """Render the trace as an SVG string."""
+    tasks = tracer.tasks
+    if not tasks:
+        return '<svg xmlns="http://www.w3.org/2000/svg" width="200" height="40">' \
+               "<text x='8' y='24'>empty trace</text></svg>"
+    makespan = tracer.makespan()
+    lanes: Dict[Tuple[int, int], int] = {}
+    for t in sorted(tasks, key=lambda t: (t.rank, t.worker)):
+        lanes.setdefault((t.rank, t.worker), len(lanes))
+    nlanes = min(len(lanes), max_lanes)
+    colors: Dict[str, str] = {}
+    left = 90
+    height = nlanes * lane_height + 40
+
+    def color_of(name: str) -> str:
+        if name not in colors:
+            colors[name] = _COLORS[len(colors) % len(_COLORS)]
+        return colors[name]
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width + left + 10}" '
+        f'height="{height + 20 + 16 * 1}">',
+        '<style>text{font:10px sans-serif}</style>',
+    ]
+    # lane labels + task rects
+    for (rank, worker), lane in lanes.items():
+        if lane >= max_lanes:
+            break
+        y = 20 + lane * lane_height
+        if worker == 0:
+            parts.append(f'<text x="2" y="{y + 9}">rank {rank}</text>')
+        parts.append(
+            f'<line x1="{left}" y1="{y + lane_height - 1}" '
+            f'x2="{left + width}" y2="{y + lane_height - 1}" '
+            'stroke="#eee" stroke-width="0.5"/>'
+        )
+    for t in tasks:
+        lane = lanes[(t.rank, t.worker)]
+        if lane >= max_lanes:
+            continue
+        x = left + t.start / makespan * width
+        w = max(0.5, t.duration / makespan * width)
+        y = 20 + lane * lane_height
+        title = html.escape(f"{t.name}{t.key!r} [{t.start*1e6:.1f}-{t.end*1e6:.1f}us]")
+        parts.append(
+            f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" height="{lane_height - 2}" '
+            f'fill="{color_of(t.name)}"><title>{title}</title></rect>'
+        )
+    # legend
+    ly = height + 8
+    lx = left
+    for name, col in colors.items():
+        parts.append(f'<rect x="{lx}" y="{ly}" width="10" height="10" fill="{col}"/>')
+        parts.append(f'<text x="{lx + 13}" y="{ly + 9}">{html.escape(name)}</text>')
+        lx += 13 + 7 * len(name) + 18
+    # time axis
+    parts.append(
+        f'<text x="{left}" y="14">0</text>'
+        f'<text x="{left + width - 60}" y="14">{makespan*1e3:.3f} ms</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def write_gantt(path: str, tracer: Tracer, cluster: Optional[Cluster] = None,
+                **kwargs) -> None:
+    """Write the Gantt SVG to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(gantt_svg(tracer, cluster, **kwargs))

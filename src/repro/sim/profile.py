@@ -1,0 +1,130 @@
+"""Post-mortem profiling of traced executions.
+
+Aggregates a :class:`~repro.sim.trace.Tracer` into the reports one usually
+wants from a distributed task run: per-template task statistics, per-rank
+utilization, communication volume, and a parallel-efficiency summary.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.sim.cluster import Cluster
+from repro.sim.trace import Tracer
+
+
+@dataclass
+class TemplateStats:
+    """Aggregate statistics of one template task's instances."""
+
+    name: str
+    count: int
+    total_time: float
+    min_time: float
+    max_time: float
+
+    @property
+    def mean_time(self) -> float:
+        return self.total_time / self.count if self.count else 0.0
+
+
+@dataclass
+class RankStats:
+    """Utilization of one rank."""
+
+    rank: int
+    tasks: int
+    busy_time: float
+    utilization: float  # busy worker-seconds / available worker-seconds
+
+
+class Profile:
+    """Computed view over one traced run."""
+
+    def __init__(self, tracer: Tracer, cluster: Cluster) -> None:
+        self.tracer = tracer
+        self.cluster = cluster
+        self.makespan = tracer.makespan()
+
+    # ------------------------------------------------------------ template
+
+    def by_template(self) -> List[TemplateStats]:
+        acc: Dict[str, List[float]] = defaultdict(list)
+        for t in self.tracer.tasks:
+            acc[t.name].append(t.duration)
+        out = [
+            TemplateStats(
+                name=name,
+                count=len(ds),
+                total_time=sum(ds),
+                min_time=min(ds),
+                max_time=max(ds),
+            )
+            for name, ds in acc.items()
+        ]
+        return sorted(out, key=lambda s: -s.total_time)
+
+    # ---------------------------------------------------------------- rank
+
+    def by_rank(self) -> List[RankStats]:
+        busy = self.tracer.busy_time_by_rank()
+        counts: Dict[int, int] = defaultdict(int)
+        for t in self.tracer.tasks:
+            counts[t.rank] += 1
+        workers = self.cluster.node.workers
+        out = []
+        for rank in range(self.cluster.nranks):
+            b = busy.get(rank, 0.0)
+            avail = self.makespan * workers
+            out.append(
+                RankStats(
+                    rank=rank,
+                    tasks=counts.get(rank, 0),
+                    busy_time=b,
+                    utilization=b / avail if avail > 0 else 0.0,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------- summary
+
+    def parallel_efficiency(self) -> float:
+        """Total busy worker-time over available worker-time."""
+        total_busy = sum(self.tracer.busy_time_by_rank().values())
+        avail = self.makespan * self.cluster.total_workers
+        return total_busy / avail if avail > 0 else 0.0
+
+    def comm_summary(self) -> Dict[str, float]:
+        msgs = self.tracer.messages
+        return {
+            "messages": float(len(msgs)),
+            "bytes": float(sum(m.nbytes for m in msgs)),
+            "mean_latency": (
+                sum(m.arrived - m.sent for m in msgs) / len(msgs) if msgs else 0.0
+            ),
+        }
+
+    def report(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"makespan: {self.makespan*1e3:.3f} ms, "
+            f"parallel efficiency: {self.parallel_efficiency()*100:.1f}%, "
+            f"load imbalance: {self.tracer.load_imbalance():.2f}",
+            "",
+            f"{'template':<14}{'count':>8}{'total ms':>12}{'mean us':>10}{'max us':>10}",
+        ]
+        for s in self.by_template():
+            lines.append(
+                f"{s.name:<14}{s.count:>8}{s.total_time*1e3:>12.3f}"
+                f"{s.mean_time*1e6:>10.2f}{s.max_time*1e6:>10.2f}"
+            )
+        comm = self.comm_summary()
+        lines += [
+            "",
+            f"messages: {int(comm['messages'])}, "
+            f"volume: {comm['bytes']/1e6:.2f} MB, "
+            f"mean latency: {comm['mean_latency']*1e6:.2f} us",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Execution tracing: task/message records, Gantt data, load statistics.
+
+Tracing is optional (it costs memory proportional to the task count); every
+backend accepts a :class:`Tracer` and records into it only when enabled.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed task instance."""
+
+    name: str
+    key: Any
+    rank: int
+    worker: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One inter-rank message."""
+
+    src: int
+    dst: int
+    nbytes: int
+    sent: float
+    arrived: float
+    tag: str = ""
+
+
+@dataclass
+class Tracer:
+    """Collects task and message records when ``enabled``."""
+
+    enabled: bool = True
+    tasks: List[TaskRecord] = field(default_factory=list)
+    messages: List[MessageRecord] = field(default_factory=list)
+
+    def record_task(
+        self, name: str, key: Any, rank: int, worker: int, start: float, end: float
+    ) -> None:
+        if self.enabled:
+            self.tasks.append(TaskRecord(name, key, rank, worker, start, end))
+
+    def record_message(
+        self, src: int, dst: int, nbytes: int, sent: float, arrived: float, tag: str = ""
+    ) -> None:
+        if self.enabled:
+            self.messages.append(MessageRecord(src, dst, nbytes, sent, arrived, tag))
+
+    # ------------------------------------------------------------------ stats
+
+    def makespan(self) -> float:
+        """End time of the last task (0 if none ran)."""
+        return max((t.end for t in self.tasks), default=0.0)
+
+    def busy_time_by_rank(self) -> Dict[int, float]:
+        busy: Dict[int, float] = defaultdict(float)
+        for t in self.tasks:
+            busy[t.rank] += t.duration
+        return dict(busy)
+
+    def task_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = defaultdict(int)
+        for t in self.tasks:
+            counts[t.name] += 1
+        return dict(counts)
+
+    def load_imbalance(self) -> float:
+        """max/mean busy time across ranks (1.0 = perfectly balanced)."""
+        busy = list(self.busy_time_by_rank().values())
+        if not busy:
+            return 1.0
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean > 0 else 1.0
+
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self.messages)
+
+    def gantt(self) -> List[Dict[str, Any]]:
+        """Rows suitable for plotting: one dict per task execution."""
+        return [
+            {
+                "name": t.name,
+                "key": t.key,
+                "rank": t.rank,
+                "worker": t.worker,
+                "start": t.start,
+                "end": t.end,
+            }
+            for t in sorted(self.tasks, key=lambda t: (t.rank, t.worker, t.start))
+        ]
+
+    def critical_path_lower_bound(self) -> float:
+        """Longest single task -- a trivial lower bound on the makespan."""
+        return max((t.duration for t in self.tasks), default=0.0)
+
+    def to_chrome_trace(self) -> List[Dict[str, Any]]:
+        """Export as Chrome tracing events (load in chrome://tracing or
+        Perfetto): one complete ("X") event per task, pid=rank, tid=worker,
+        microsecond timestamps; messages become flow-ish instant events."""
+        events: List[Dict[str, Any]] = []
+        for t in self.tasks:
+            events.append(
+                {
+                    "name": t.name,
+                    "ph": "X",
+                    "pid": t.rank,
+                    "tid": t.worker,
+                    "ts": t.start * 1e6,
+                    "dur": max(t.duration * 1e6, 0.001),
+                    "args": {"key": repr(t.key)},
+                }
+            )
+        for m in self.messages:
+            events.append(
+                {
+                    "name": m.tag or "msg",
+                    "ph": "i",
+                    "pid": m.dst,
+                    "tid": 0,
+                    "ts": m.arrived * 1e6,
+                    "s": "p",
+                    "args": {"src": m.src, "nbytes": m.nbytes},
+                }
+            )
+        return events
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Write the Chrome-tracing JSON file."""
+        import json
+
+        with open(path, "w") as fh:
+            json.dump({"traceEvents": self.to_chrome_trace()}, fh)
+
+    def overlap_histogram(self, bins: int = 20) -> List[Tuple[float, int]]:
+        """(time, #running tasks) samples across the makespan."""
+        span = self.makespan()
+        if span <= 0 or not self.tasks:
+            return []
+        out = []
+        for b in range(bins):
+            t = span * (b + 0.5) / bins
+            running = sum(1 for r in self.tasks if r.start <= t < r.end)
+            out.append((t, running))
+        return out

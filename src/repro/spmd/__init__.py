@@ -1,0 +1,21 @@
+"""SPMD programming on the simulator: mpi4py-style rank programs.
+
+The paper's comparators (ScaLAPACK, the MPI+OpenMP FW) are MPI programs;
+:mod:`repro.baselines` models them analytically.  This package provides the
+*executable* alternative: write each rank as a Python generator that yields
+communication/compute operations (``send``/``recv``/``bcast``/``barrier``/
+``compute``), and the event loop interleaves all ranks in virtual time --
+the message-passing idiom of mpi4py, but deterministic and simulated.
+
+>>> def program(ctx):
+...     if ctx.rank == 0:
+...         yield ctx.send(1, "hello")
+...     else:
+...         msg = yield ctx.recv(0)
+...     yield ctx.barrier()
+>>> makespan = run_spmd(cluster, program)
+"""
+
+from repro.spmd.core import SpmdContext, SpmdError, run_spmd
+
+__all__ = ["SpmdContext", "SpmdError", "run_spmd"]

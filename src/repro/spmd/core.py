@@ -1,0 +1,339 @@
+"""Generator-based SPMD executor on the discrete-event simulator.
+
+Each rank runs a generator function ``program(ctx)``; yielding an operation
+suspends the rank until the operation's virtual-time completion.  The
+operations mirror blocking MPI semantics:
+
+- ``ctx.compute(flops, bytes_moved=0)`` -- occupy the node for a kernel.
+- ``ctx.send(dst, value, nbytes=None, tag=0)`` -- buffered send (returns
+  once the message is injected; delivery happens asynchronously).
+- ``ctx.recv(src=None, tag=None)`` -- blocks until a matching message
+  arrived; the yielded expression evaluates to the value.
+- ``ctx.bcast(value, root)`` -- binomial-tree broadcast; everyone gets the
+  root's value.
+- ``ctx.barrier()`` -- dissemination barrier across all ranks.
+- ``ctx.allreduce(value, op=sum-like)`` -- reduce + broadcast.
+
+Determinism: matching is FIFO per (src, tag) and all releases are ordered
+by the engine's (time, seq) heap.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.sim.cluster import Cluster
+
+
+class SpmdError(RuntimeError):
+    """Deadlock or misuse of the SPMD layer."""
+
+
+class _Op:
+    """Base: operations know how to start themselves for a given rank."""
+
+    def start(self, ex: "_Executor", rank: int) -> None:
+        raise NotImplementedError
+
+
+class _Compute(_Op):
+    def __init__(self, flops: float, bytes_moved: float, workers: Optional[int]) -> None:
+        self.flops = flops
+        self.bytes_moved = bytes_moved
+        self.workers = workers
+
+    def start(self, ex: "_Executor", rank: int) -> None:
+        node = ex.cluster.node
+        # An SPMD rank is one process with intra-node threads (MPI+OpenMP):
+        # by default the whole node works on the phase.
+        w = node.workers if self.workers is None else min(self.workers, node.workers)
+        t_flops = self.flops / (w * node.flops_per_worker)
+        t_mem = self.bytes_moved / node.mem_bandwidth
+        dt = max(t_flops, t_mem) + node.task_overhead
+        ex.engine.schedule(dt, ex.resume, rank, None)
+
+
+class _Send(_Op):
+    def __init__(self, dst: int, value: Any, nbytes: Optional[int], tag: int) -> None:
+        self.dst = dst
+        self.value = value
+        self.nbytes = nbytes
+        self.tag = tag
+
+    def start(self, ex: "_Executor", rank: int) -> None:
+        nbytes = self.nbytes
+        if nbytes is None:
+            nbytes = int(getattr(self.value, "nbytes", 0) or 0)
+            if nbytes == 0:
+                try:
+                    nbytes = len(pickle.dumps(self.value, protocol=pickle.HIGHEST_PROTOCOL))
+                except Exception:
+                    nbytes = 64
+        arrival = ex.cluster.network.send(rank, self.dst, nbytes)
+        ex.engine.schedule_at(arrival, ex.deliver, rank, self.dst, self.tag, self.value)
+        # Buffered-send semantics: the sender resumes once injected.
+        ex.engine.schedule(0.0, ex.resume, rank, None)
+
+
+class _Recv(_Op):
+    def __init__(self, src: Optional[int], tag: Optional[int]) -> None:
+        self.src = src
+        self.tag = tag
+
+    def matches(self, src: int, tag: int) -> bool:
+        return (self.src is None or self.src == src) and (
+            self.tag is None or self.tag == tag
+        )
+
+    def start(self, ex: "_Executor", rank: int) -> None:
+        msg = ex.match_mailbox(rank, self)
+        if msg is not None:
+            ex.engine.schedule(0.0, ex.resume, rank, msg)
+        else:
+            ex.pending_recv[rank] = self
+
+
+class _Barrier(_Op):
+    def start(self, ex: "_Executor", rank: int) -> None:
+        ex.enter_barrier(rank)
+
+
+class _Bcast(_Op):
+    def __init__(self, value: Any, root: int, nbytes: Optional[int]) -> None:
+        self.value = value
+        self.root = root
+        self.nbytes = nbytes
+
+    def start(self, ex: "_Executor", rank: int) -> None:
+        ex.enter_bcast(rank, self)
+
+
+class _Allreduce(_Op):
+    def __init__(self, value: Any, op: Callable[[List[Any]], Any], nbytes: Optional[int]) -> None:
+        self.value = value
+        self.op = op
+        self.nbytes = nbytes
+
+    def start(self, ex: "_Executor", rank: int) -> None:
+        ex.enter_allreduce(rank, self)
+
+
+class _Gather(_Op):
+    def __init__(self, value: Any, root: int, nbytes: Optional[int]) -> None:
+        self.value = value
+        self.root = root
+        self.nbytes = nbytes
+
+    def start(self, ex: "_Executor", rank: int) -> None:
+        ex.enter_gather(rank, self)
+
+
+class _Scatter(_Op):
+    def __init__(self, values: Optional[List[Any]], root: int, nbytes: Optional[int]) -> None:
+        self.values = values
+        self.root = root
+        self.nbytes = nbytes
+
+    def start(self, ex: "_Executor", rank: int) -> None:
+        ex.enter_scatter(rank, self)
+
+
+class SpmdContext:
+    """Per-rank handle passed to the program function."""
+
+    def __init__(self, rank: int, size: int) -> None:
+        self.rank = rank
+        self.size = size
+
+    def compute(
+        self, flops: float, bytes_moved: float = 0.0, workers: Optional[int] = None
+    ) -> _Op:
+        """Occupy the node for a kernel; ``workers`` limits the intra-node
+        parallelism (default: all of the node's workers)."""
+        return _Compute(flops, bytes_moved, workers)
+
+    def send(self, dst: int, value: Any, nbytes: Optional[int] = None, tag: int = 0) -> _Op:
+        if not (0 <= dst < self.size):
+            raise SpmdError(f"send to invalid rank {dst}")
+        return _Send(dst, value, nbytes, tag)
+
+    def recv(self, src: Optional[int] = None, tag: Optional[int] = None) -> _Op:
+        return _Recv(src, tag)
+
+    def bcast(self, value: Any = None, root: int = 0, nbytes: Optional[int] = None) -> _Op:
+        return _Bcast(value, root, nbytes)
+
+    def barrier(self) -> _Op:
+        return _Barrier()
+
+    def allreduce(
+        self,
+        value: Any,
+        op: Callable[[List[Any]], Any] = sum,
+        nbytes: Optional[int] = None,
+    ) -> _Op:
+        return _Allreduce(value, op, nbytes)
+
+    def gather(self, value: Any, root: int = 0, nbytes: Optional[int] = None) -> _Op:
+        """Root receives the list of all ranks' values (in rank order);
+        everyone else receives None."""
+        return _Gather(value, root, nbytes)
+
+    def scatter(self, values: Optional[List[Any]] = None, root: int = 0,
+                nbytes: Optional[int] = None) -> _Op:
+        """Root provides one value per rank; each rank receives its own."""
+        return _Scatter(values, root, nbytes)
+
+
+class _Executor:
+    def __init__(self, cluster: Cluster, program: Callable[[SpmdContext], Generator]) -> None:
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.size = cluster.nranks
+        self.gens: List[Generator] = []
+        self.done = [False] * self.size
+        self.mailbox: List[Deque[Tuple[int, int, Any]]] = [deque() for _ in range(self.size)]
+        self.pending_recv: Dict[int, _Recv] = {}
+        # collective state
+        self._barrier_waiting: List[int] = []
+        self._bcast_waiting: List[Tuple[int, _Bcast]] = []
+        self._allreduce_waiting: List[Tuple[int, _Allreduce]] = []
+        self._gather_waiting: List[Tuple[int, _Gather]] = []
+        self._scatter_waiting: List[Tuple[int, _Scatter]] = []
+        for rank in range(self.size):
+            gen = program(SpmdContext(rank, self.size))
+            if not hasattr(gen, "send"):
+                raise SpmdError("program must be a generator function (use yield)")
+            self.gens.append(gen)
+
+    # ------------------------------------------------------------- driving
+
+    def start(self) -> None:
+        for rank in range(self.size):
+            self.resume(rank, None)
+
+    def resume(self, rank: int, value: Any) -> None:
+        try:
+            op = self.gens[rank].send(value)
+        except StopIteration:
+            self.done[rank] = True
+            return
+        if not isinstance(op, _Op):
+            raise SpmdError(
+                f"rank {rank} yielded {type(op).__name__}; yield ctx.<op>(...) values"
+            )
+        op.start(self, rank)
+
+    # ------------------------------------------------------------ messages
+
+    def deliver(self, src: int, dst: int, tag: int, value: Any) -> None:
+        waiting = self.pending_recv.get(dst)
+        if waiting is not None and waiting.matches(src, tag):
+            del self.pending_recv[dst]
+            self.resume(dst, value)
+        else:
+            self.mailbox[dst].append((src, tag, value))
+
+    def match_mailbox(self, rank: int, recv: _Recv) -> Optional[Any]:
+        box = self.mailbox[rank]
+        for i, (src, tag, value) in enumerate(box):
+            if recv.matches(src, tag):
+                del box[i]
+                return value
+        return None
+
+    # ---------------------------------------------------------- collectives
+
+    def enter_barrier(self, rank: int) -> None:
+        self._barrier_waiting.append(rank)
+        if len(self._barrier_waiting) == self.size:
+            waiting, self._barrier_waiting = self._barrier_waiting, []
+            dt = self.cluster.network.barrier_time(self.size)
+            for r in waiting:
+                self.engine.schedule(dt, self.resume, r, None)
+
+    def enter_bcast(self, rank: int, op: _Bcast) -> None:
+        self._bcast_waiting.append((rank, op))
+        if len(self._bcast_waiting) == self.size:
+            waiting, self._bcast_waiting = self._bcast_waiting, []
+            root_op = next(o for r, o in waiting if r == o.root)
+            nbytes = root_op.nbytes
+            if nbytes is None:
+                nbytes = int(getattr(root_op.value, "nbytes", 0) or 64)
+            dt = self.cluster.network.bcast_time(self.size, nbytes)
+            for r, o in waiting:
+                delay = 0.0 if r == o.root else dt
+                self.engine.schedule(delay, self.resume, r, root_op.value)
+
+    def enter_allreduce(self, rank: int, op: _Allreduce) -> None:
+        self._allreduce_waiting.append((rank, op))
+        if len(self._allreduce_waiting) == self.size:
+            waiting, self._allreduce_waiting = self._allreduce_waiting, []
+            values = [o.value for _, o in sorted(waiting)]
+            reducer = waiting[0][1].op
+            result = reducer(values)
+            nbytes = waiting[0][1].nbytes or 64
+            dt = self.cluster.network.allreduce_time(self.size, nbytes)
+            for r, _ in waiting:
+                self.engine.schedule(dt, self.resume, r, result)
+
+    def enter_gather(self, rank: int, op: _Gather) -> None:
+        self._gather_waiting.append((rank, op))
+        if len(self._gather_waiting) == self.size:
+            waiting, self._gather_waiting = self._gather_waiting, []
+            values = [o.value for _, o in sorted(waiting)]
+            root = waiting[0][1].root
+            nbytes = waiting[0][1].nbytes or 64
+            # Everyone sends toward the root: binomial-tree duration.
+            dt = self.cluster.network.bcast_time(self.size, nbytes)
+            for r, _ in waiting:
+                self.engine.schedule(dt, self.resume, r,
+                                     values if r == root else None)
+
+    def enter_scatter(self, rank: int, op: _Scatter) -> None:
+        self._scatter_waiting.append((rank, op))
+        if len(self._scatter_waiting) == self.size:
+            waiting, self._scatter_waiting = self._scatter_waiting, []
+            root_op = next(o for r, o in waiting if r == o.root)
+            values = root_op.values
+            if values is None or len(values) != self.size:
+                raise SpmdError(
+                    "scatter root must provide exactly one value per rank"
+                )
+            nbytes = root_op.nbytes or 64
+            dt = self.cluster.network.bcast_time(self.size, nbytes)
+            for r, o in waiting:
+                delay = 0.0 if r == o.root else dt
+                self.engine.schedule(delay, self.resume, r, values[r])
+
+    # ------------------------------------------------------------- results
+
+    def check_done(self) -> None:
+        if not all(self.done):
+            stuck = [r for r, d in enumerate(self.done) if not d]
+            detail = []
+            for r in stuck:
+                if r in self.pending_recv:
+                    p = self.pending_recv[r]
+                    detail.append(f"rank {r} blocked in recv(src={p.src}, tag={p.tag})")
+                else:
+                    detail.append(f"rank {r} blocked in a collective")
+            raise SpmdError("deadlock: " + "; ".join(detail))
+
+
+def run_spmd(
+    cluster: Cluster, program: Callable[[SpmdContext], Generator]
+) -> float:
+    """Run ``program`` on every rank of ``cluster``; returns the makespan.
+
+    Raises :class:`SpmdError` with a rank-by-rank diagnosis on deadlock
+    (mismatched sends/recvs, incomplete collectives).
+    """
+    ex = _Executor(cluster, program)
+    t0 = cluster.engine.now
+    ex.start()
+    cluster.engine.run()
+    ex.check_done()
+    return cluster.engine.now - t0

@@ -1,0 +1,239 @@
+"""Correctness and structure tests for block-sparse SUMMA (BSPMM)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bspmm import BspmmPlan, bspmm_ttg
+from repro.linalg import (
+    BlockCyclicDistribution,
+    BlockSparseMatrix,
+    IrregularTiling,
+    yukawa_blocksparse,
+)
+from repro.linalg.tile import MatrixTile
+from repro.runtime import MadnessBackend, ParsecBackend
+from repro.sim.cluster import Cluster, HAWK
+
+
+def small_matrix(natoms=25, seed=0, **kw):
+    return yukawa_blocksparse(natoms, target_tile=24, seed=seed, **kw)
+
+
+def multiply(a, b, nodes, backend_cls=ParsecBackend, **kw):
+    backend = backend_cls(Cluster(HAWK, nodes))
+    return bspmm_ttg(a, b, backend, **kw)
+
+
+def test_square_matches_dense():
+    a = small_matrix()
+    res = multiply(a, a, 4)
+    assert np.allclose(res.C.to_dense(), a.to_dense() @ a.to_dense())
+
+
+def test_rectangular_tilings():
+    rt = IrregularTiling([3, 5, 2])
+    ct = IrregularTiling([4, 6])
+    kt = IrregularTiling([2, 7, 3])
+    rng = np.random.default_rng(0)
+    a_dense = rng.standard_normal((rt.n, kt.n))
+    b_dense = rng.standard_normal((kt.n, ct.n))
+    a = BlockSparseMatrix.from_dense(a_dense, rt, kt)
+    b = BlockSparseMatrix.from_dense(b_dense, kt, ct)
+    res = multiply(a, b, 2)
+    assert np.allclose(res.C.to_dense(), a_dense @ b_dense)
+
+
+def test_sparse_input_sparse_output():
+    rt = IrregularTiling([4, 4, 4])
+    a = BlockSparseMatrix(rt, rt)
+    rng = np.random.default_rng(1)
+    a.set_block(0, 0, MatrixTile(4, 4, rng.standard_normal((4, 4))))
+    a.set_block(1, 2, MatrixTile(4, 4, rng.standard_normal((4, 4))))
+    res = multiply(a, a, 2)
+    dense = a.to_dense()
+    assert np.allclose(res.C.to_dense(), dense @ dense)
+    # only (0,0)@(0,0) contributes -> a single C block
+    assert res.C.block_keys() == [(0, 0)]
+
+
+def test_mismatched_inner_tilings_rejected():
+    a = BlockSparseMatrix(IrregularTiling([4]), IrregularTiling([4]))
+    b = BlockSparseMatrix(IrregularTiling([5]), IrregularTiling([4]))
+    with pytest.raises(ValueError):
+        multiply(a, b, 1)
+
+
+@pytest.mark.parametrize("window,read_window", [(1, 1), (2, 4), (8, 16)])
+def test_feedback_windows_preserve_result(window, read_window):
+    a = small_matrix(natoms=15, seed=2)
+    ref = a.to_dense() @ a.to_dense()
+    res = multiply(a, a, 3, window=window, read_window=read_window)
+    assert np.allclose(res.C.to_dense(), ref)
+
+
+def test_invalid_windows():
+    a = small_matrix(natoms=5)
+    with pytest.raises(ValueError):
+        multiply(a, a, 1, window=0)
+
+
+def test_madness_backend_agrees():
+    a = small_matrix(natoms=15, seed=3)
+    rp = multiply(a, a, 3, ParsecBackend)
+    rm = multiply(a, a, 3, MadnessBackend)
+    assert np.allclose(rp.C.to_dense(), rm.C.to_dense())
+
+
+def test_plan_statistics():
+    a = small_matrix(natoms=20, seed=4)
+    plan = BspmmPlan.build(a, a, BlockCyclicDistribution.for_ranks(4))
+    assert plan.num_gemms == sum(len(ks) for ks in plan.chains.values())
+    assert plan.total_flops > 0
+    # every gemm has both operands present
+    for (i, j), ks in plan.chains.items():
+        for k in ks:
+            assert (i, k) in a
+            assert (k, j) in a
+    # dests are owners of the C blocks involved
+    for (i, k), ranks in plan.a_dests.items():
+        assert all(0 <= r < 4 for r in ranks)
+
+
+def test_plan_chain_pos():
+    a = small_matrix(natoms=10, seed=5)
+    plan = BspmmPlan.build(a, a, BlockCyclicDistribution.for_ranks(2))
+    (i, j), ks = next(iter(plan.chains.items()))
+    pos, length = plan.chain_pos(i, j, ks[0])
+    assert pos == 0 and length == len(ks)
+
+
+def test_gemms_per_rank_step_consistent():
+    a = small_matrix(natoms=12, seed=6)
+    plan = BspmmPlan.build(a, a, BlockCyclicDistribution.for_ranks(3))
+    assert sum(plan.gemms_per_rank_step.values()) == plan.num_gemms
+
+
+def test_task_counts_structure():
+    a = small_matrix(natoms=10, seed=7)
+    res = multiply(a, a, 2)
+    tc = res.task_counts
+    assert tc["MULTIPLY_ADD"] == res.plan.num_gemms
+    assert tc["READ_SP_A"] == len(res.plan.a_dests)
+    assert tc["WRITE_C"] == len(res.plan.chains)
+    assert tc["LSTORE_A"] == sum(len(r) for r in res.plan.a_dests.values())
+    assert tc["LBCAST_A"] == tc["LSTORE_A"]
+
+
+def test_synthetic_mode():
+    a = yukawa_blocksparse(40, target_tile=32, seed=8, synthetic=True)
+    res = multiply(a, a, 4)
+    assert res.makespan > 0 and res.gflops > 0
+    # synthetic outputs carry no data
+    for _, t in res.C.blocks():
+        assert t.is_synthetic
+
+
+def test_gflops_accounting():
+    a = small_matrix(natoms=10, seed=9)
+    res = multiply(a, a, 2)
+    assert res.gflops == pytest.approx(
+        res.plan.total_flops / res.makespan / 1e9
+    )
+
+
+# ---------------------------------------------------------- 2.5D variant
+
+
+def test_25d_matches_dense():
+    from repro.apps.bspmm import bspmm_ttg_25d
+
+    a = small_matrix(natoms=20, seed=10)
+    ref = a.to_dense() @ a.to_dense()
+    for nranks, c in ((4, 2), (8, 2), (8, 4)):
+        backend = ParsecBackend(Cluster(HAWK, nranks))
+        res = bspmm_ttg_25d(a, a, backend, c=c)
+        assert np.allclose(res.C.to_dense(), ref), (nranks, c)
+
+
+def test_25d_c1_equals_2d_result():
+    from repro.apps.bspmm import bspmm_ttg_25d
+
+    a = small_matrix(natoms=15, seed=11)
+    r2d = multiply(a, a, 4)
+    r25 = bspmm_ttg_25d(a, a, ParsecBackend(Cluster(HAWK, 4)), c=1)
+    assert np.allclose(r25.C.to_dense(), r2d.C.to_dense())
+
+
+def test_25d_madness_backend():
+    from repro.apps.bspmm import bspmm_ttg_25d
+
+    a = small_matrix(natoms=12, seed=12)
+    res = bspmm_ttg_25d(a, a, MadnessBackend(Cluster(HAWK, 8)), c=2)
+    assert np.allclose(res.C.to_dense(), a.to_dense() @ a.to_dense())
+
+
+def test_choose_replication_rule():
+    from repro.apps.bspmm import choose_replication
+
+    assert choose_replication(1) == 1
+    assert choose_replication(7) == 1
+    assert choose_replication(8) == 2
+    assert choose_replication(63) == 1  # 2 does not divide 63
+    assert choose_replication(64) == 4
+
+
+def test_25d_plan_partitions_steps_by_layer():
+    from repro.apps.bspmm import Bspmm25Plan
+
+    a = small_matrix(natoms=20, seed=13)
+    plan = Bspmm25Plan.build(a, a, 8, c=2)
+    for (i, j, layer), ks in plan.chains.items():
+        assert all(k % 2 == layer for k in ks)
+    # every gemm of the 2D plan appears in exactly one layer
+    from repro.apps.bspmm import BspmmPlan
+    from repro.linalg import BlockCyclicDistribution
+
+    plan2d = BspmmPlan.build(a, a, BlockCyclicDistribution.for_ranks(8))
+    assert plan.num_gemms == plan2d.num_gemms
+    assert plan.total_flops == pytest.approx(plan2d.total_flops)
+
+
+def test_25d_invalid_replication():
+    from repro.apps.bspmm import bspmm_ttg_25d
+
+    a = small_matrix(natoms=5, seed=14)
+    with pytest.raises(ValueError):
+        bspmm_ttg_25d(a, a, ParsecBackend(Cluster(HAWK, 3)), c=2)
+
+
+def test_25d_reduction_counts():
+    from repro.apps.bspmm import bspmm_ttg_25d
+
+    a = small_matrix(natoms=20, seed=15)
+    backend = ParsecBackend(Cluster(HAWK, 8))
+    res = bspmm_ttg_25d(a, a, backend, c=2)
+    tc = res.task_counts
+    assert tc["REDUCE_C25"] == len(res.plan.chains)
+    assert tc["WRITE_C25"] == len(res.plan.chains)
+    assert tc["MULTIPLY_ADD25"] == res.plan.num_gemms
+
+
+# -------------------------------------------------------- dense wrapper
+
+
+def test_dense_gemm_wrapper():
+    from repro.apps.bspmm import dense_gemm_ttg
+
+    rng = np.random.default_rng(20)
+    a = rng.standard_normal((50, 37))
+    b = rng.standard_normal((37, 44))
+    res = dense_gemm_ttg(a, b, ParsecBackend(Cluster(HAWK, 4)), block=16)
+    assert np.allclose(res.C.to_dense(), a @ b)
+
+
+def test_dense_gemm_wrapper_shape_check():
+    from repro.apps.bspmm import dense_gemm_ttg
+
+    with pytest.raises(ValueError):
+        dense_gemm_ttg(np.zeros((3, 4)), np.zeros((5, 2)),
+                       ParsecBackend(Cluster(HAWK, 1)))

@@ -1,0 +1,159 @@
+"""Correctness and structure tests for the Cholesky TTG."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cholesky import build_cholesky_graph, cholesky_ttg
+from repro.linalg import BlockCyclicDistribution, TiledMatrix, spd_matrix
+from repro.runtime import MadnessBackend, ParsecBackend
+from repro.sim.cluster import Cluster, HAWK
+
+
+def factor(n, b, nodes, backend_cls=ParsecBackend, grid=None, **kw):
+    a = spd_matrix(n, seed=n + b)
+    dist = BlockCyclicDistribution(*grid) if grid else BlockCyclicDistribution.for_ranks(nodes)
+    A = TiledMatrix.from_dense(a, b, dist, lower_only=True)
+    backend = backend_cls(Cluster(HAWK, nodes))
+    res = cholesky_ttg(A, backend, **kw)
+    return a, res
+
+
+@pytest.mark.parametrize("n,b,nodes", [
+    (16, 16, 1),     # single tile
+    (32, 16, 1),
+    (64, 16, 2),
+    (96, 16, 4),
+    (64, 8, 7),      # non-square rank count
+    (80, 32, 4),     # ragged last tile (80 = 2*32 + 16)
+    (100, 32, 4),    # ragged
+])
+def test_matches_numpy(n, b, nodes):
+    a, res = factor(n, b, nodes)
+    L = np.tril(res.L.to_dense())
+    assert np.allclose(L, np.linalg.cholesky(a))
+
+
+def test_madness_backend_identical_factor():
+    a, res_p = factor(64, 16, 4, ParsecBackend)
+    _, res_m = factor(64, 16, 4, MadnessBackend)
+    assert np.allclose(res_p.L.to_dense(), res_m.L.to_dense())
+
+
+def test_task_counts_formula():
+    n, b = 96, 16  # nt = 6
+    _, res = factor(n, b, 4)
+    nt = 6
+    assert res.task_counts["POTRF"] == nt
+    assert res.task_counts["TRSM"] == nt * (nt - 1) // 2
+    assert res.task_counts["SYRK"] == nt * (nt - 1) // 2
+    assert res.task_counts["GEMM"] == nt * (nt - 1) * (nt - 2) // 6
+    assert res.task_counts["RESULT"] == nt * (nt + 1) // 2
+
+
+def test_input_matrix_not_mutated():
+    n, b = 48, 16
+    a = spd_matrix(n, seed=3)
+    A = TiledMatrix.from_dense(a, b, BlockCyclicDistribution(2, 2), lower_only=True)
+    before = A.to_dense().copy()
+    cholesky_ttg(A, ParsecBackend(Cluster(HAWK, 4)))
+    assert np.array_equal(A.to_dense(), before)
+
+
+def test_priorities_off_still_correct():
+    a, res = factor(64, 16, 4, priorities=False)
+    assert np.allclose(np.tril(res.L.to_dense()), np.linalg.cholesky(a))
+
+
+def test_synthetic_mode_runs_and_reports():
+    A = TiledMatrix(4096, 256, BlockCyclicDistribution.for_ranks(4), synthetic=True)
+    res = cholesky_ttg(A, ParsecBackend(Cluster(HAWK.with_workers(8), 4)))
+    assert res.makespan > 0
+    assert res.gflops > 0
+    assert res.L.synthetic
+
+
+def test_non_spd_raises():
+    from repro.linalg.kernels import KernelError
+
+    a = -np.eye(32)
+    A = TiledMatrix.from_dense(a, 16, lower_only=True)
+    with pytest.raises(KernelError):
+        cholesky_ttg(A, ParsecBackend(Cluster(HAWK, 1)))
+
+
+def test_makespan_positive_and_deterministic():
+    _, r1 = factor(64, 16, 4)
+    _, r2 = factor(64, 16, 4)
+    assert r1.makespan == r2.makespan > 0
+
+
+def test_graph_structure():
+    A = TiledMatrix(64, 16, BlockCyclicDistribution(1, 1), synthetic=True)
+    out = TiledMatrix(64, 16, BlockCyclicDistribution(1, 1), synthetic=True)
+    graph, initiator = build_cholesky_graph(A, out)
+    names = {tt.name for tt in graph.tts}
+    assert names == {"INITIATOR", "POTRF", "TRSM", "SYRK", "GEMM", "RESULT"}
+    dot = graph.to_dot()
+    assert '"POTRF" -> "TRSM"' in dot
+
+
+def test_larger_factor_uses_more_time():
+    _, small = factor(48, 16, 2)
+    _, large = factor(96, 16, 2)
+    assert large.makespan > small.makespan
+
+
+# ------------------------------------------------------- left-looking variant
+
+
+@pytest.mark.parametrize("n,b,nodes", [(48, 16, 1), (96, 16, 4), (80, 32, 3)])
+def test_left_looking_matches_numpy(n, b, nodes):
+    from repro.apps.cholesky import cholesky_left_looking
+
+    a = spd_matrix(n, seed=n)
+    A = TiledMatrix.from_dense(a, b, BlockCyclicDistribution.for_ranks(nodes),
+                               lower_only=True)
+    res = cholesky_left_looking(A, ParsecBackend(Cluster(HAWK, nodes)))
+    assert np.allclose(np.tril(res.L.to_dense()), np.linalg.cholesky(a))
+
+
+def test_left_looking_task_counts():
+    from repro.apps.cholesky import cholesky_left_looking
+
+    n, b = 96, 16  # nt = 6
+    a = spd_matrix(n, seed=7)
+    A = TiledMatrix.from_dense(a, b, BlockCyclicDistribution(2, 2),
+                               lower_only=True)
+    res = cholesky_left_looking(A, ParsecBackend(Cluster(HAWK, 4)))
+    nt = 6
+    ntiles = nt * (nt + 1) // 2
+    assert res.task_counts["ACCUM"] == ntiles
+    assert res.task_counts["RESULT"] == ntiles
+    assert res.task_counts["POTRF"] == nt
+    assert res.task_counts["TRSM"] == nt * (nt - 1) // 2
+    # one contribution per (m >= k > j) triple
+    expect_contrib = sum(k for m in range(nt) for k in range(m + 1))
+    assert res.task_counts["CONTRIB"] == expect_contrib
+
+
+def test_left_and_right_looking_agree():
+    from repro.apps.cholesky import cholesky_left_looking
+
+    a = spd_matrix(64, seed=8)
+    A1 = TiledMatrix.from_dense(a, 16, BlockCyclicDistribution(2, 1),
+                                lower_only=True)
+    A2 = TiledMatrix.from_dense(a, 16, BlockCyclicDistribution(2, 1),
+                                lower_only=True)
+    right = cholesky_ttg(A1, ParsecBackend(Cluster(HAWK, 2)))
+    left = cholesky_left_looking(A2, ParsecBackend(Cluster(HAWK, 2)))
+    assert np.allclose(right.L.to_dense(), left.L.to_dense())
+
+
+def test_left_looking_madness_backend():
+    from repro.apps.cholesky import cholesky_left_looking
+
+    a = spd_matrix(48, seed=9)
+    A = TiledMatrix.from_dense(a, 16, BlockCyclicDistribution(1, 2),
+                               lower_only=True)
+    res = cholesky_left_looking(A, MadnessBackend(Cluster(HAWK, 2)))
+    assert np.allclose(np.tril(res.L.to_dense()), np.linalg.cholesky(a))

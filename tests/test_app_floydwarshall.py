@@ -1,0 +1,89 @@
+"""Correctness and structure tests for the FW-APSP TTG."""
+
+import numpy as np
+import pytest
+from scipy.sparse.csgraph import floyd_warshall as scipy_fw
+
+from repro.apps.floydwarshall import floyd_warshall_ttg, fw_reference
+from repro.linalg import BlockCyclicDistribution, TiledMatrix, random_weight_matrix
+from repro.runtime import MadnessBackend, ParsecBackend
+from repro.sim.cluster import Cluster, HAWK
+
+
+def solve(n, b, nodes, backend_cls=ParsecBackend, seed=0, **kw):
+    w = random_weight_matrix(n, seed=seed)
+    dist = BlockCyclicDistribution.for_ranks(nodes)
+    W = TiledMatrix.from_dense(w, b, dist)
+    res = floyd_warshall_ttg(W, backend_cls(Cluster(HAWK, nodes)), **kw)
+    return w, res
+
+
+@pytest.mark.parametrize("n,b,nodes", [
+    (16, 16, 1),    # single tile
+    (32, 16, 1),
+    (48, 16, 3),
+    (64, 16, 4),
+    (40, 16, 4),    # ragged last tile
+    (64, 32, 2),
+])
+def test_matches_reference(n, b, nodes):
+    w, res = solve(n, b, nodes)
+    assert np.allclose(res.W.to_dense(), fw_reference(w))
+
+
+def test_reference_matches_scipy():
+    w = random_weight_matrix(48, seed=9)
+    assert np.allclose(fw_reference(w), scipy_fw(w))
+
+
+def test_madness_backend():
+    w, res = solve(48, 16, 4, MadnessBackend)
+    assert np.allclose(res.W.to_dense(), fw_reference(w))
+
+
+def test_task_counts():
+    n, b = 64, 16  # nt = 4
+    _, res = solve(n, b, 2)
+    nt = 4
+    assert res.task_counts["FW_A"] == nt
+    assert res.task_counts["FW_B"] == nt * (nt - 1)
+    assert res.task_counts["FW_C"] == nt * (nt - 1)
+    assert res.task_counts["FW_D"] == nt * (nt - 1) ** 2
+    assert res.task_counts["RESULT"] == nt * nt
+
+
+def test_input_not_mutated():
+    w = random_weight_matrix(32, seed=1)
+    W = TiledMatrix.from_dense(w, 16, BlockCyclicDistribution(1, 2))
+    before = W.to_dense().copy()
+    floyd_warshall_ttg(W, ParsecBackend(Cluster(HAWK, 2)))
+    assert np.array_equal(W.to_dense(), before)
+
+
+def test_priorities_off():
+    w, res = solve(48, 16, 2, priorities=False)
+    assert np.allclose(res.W.to_dense(), fw_reference(w))
+
+
+def test_idempotent_weights():
+    """Applying FW to an already-shortest matrix changes nothing."""
+    w = fw_reference(random_weight_matrix(32, seed=5))
+    W = TiledMatrix.from_dense(w, 16, BlockCyclicDistribution(2, 1))
+    res = floyd_warshall_ttg(W, ParsecBackend(Cluster(HAWK, 2)))
+    assert np.allclose(res.W.to_dense(), w)
+
+
+def test_synthetic_scaling_run():
+    W = TiledMatrix(1024, 128, BlockCyclicDistribution.for_ranks(4), synthetic=True)
+    res = floyd_warshall_ttg(W, ParsecBackend(Cluster(HAWK.with_workers(4), 4)))
+    assert res.makespan > 0 and res.gflops > 0
+
+
+def test_triangle_inequality_holds():
+    w, res = solve(32, 16, 2, seed=11)
+    d = res.W.to_dense()
+    n = d.shape[0]
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        i, j, k = rng.integers(0, n, 3)
+        assert d[i, j] <= d[i, k] + d[k, j] + 1e-9

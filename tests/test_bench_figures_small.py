@@ -1,0 +1,69 @@
+"""Fast smoke tests of the figure experiment plumbing (tiny scales).
+
+The full figure runs live in benchmarks/; these exercise the same code
+paths in seconds so `pytest tests/` alone covers the harness.
+"""
+
+import pytest
+
+from repro.bench import figures
+
+
+def test_fig5_tiny():
+    series = figures.fig5_potrf_weak(max_nodes=2, workers=4, per_node=1024, b=256)
+    assert set(series) == {"ttg", "dplasma", "chameleon", "slate", "scalapack"}
+    for s in series.values():
+        assert len(s.points) == 2
+        assert all(y > 0 for y in s.ys)
+
+
+def test_fig6_tiny():
+    series = figures.fig6_potrf_problem(nodes=2, workers=4, b=256,
+                                        sizes=[1024, 2048])
+    for s in series.values():
+        assert s.xs == [1024, 2048]
+        assert s.ys[1] > s.ys[0]  # bigger problems run faster per flop
+
+
+def test_fig8_tiny():
+    series = figures.fig8_fw_hawk(max_nodes=4, workers=4, n=512)
+    parsec = [n for n in series if n.startswith("ttg-parsec")]
+    assert len(parsec) == 3
+    assert any(n.startswith("mpi+openmp") for n in series)
+    for s in series.values():
+        assert all(y > 0 for y in s.ys)
+
+
+def test_fig9_tiny():
+    series = figures.fig9_fw_seawulf(max_nodes=4, workers=4, n=512)
+    assert any(n.startswith("ttg-madness") for n in series)
+
+
+def test_fig12_tiny():
+    series = figures.fig12_bspmm(max_nodes=8, workers=4, natoms=40)
+    assert set(series) == {"ttg-parsec", "ttg-madness", "dbcsr"}
+    for s in series.values():
+        assert s.xs == [4, 8]
+        assert all(y > 0 for y in s.ys)
+
+
+def test_fig13_tiny():
+    series = figures.fig13a_mra_seawulf(max_nodes=2, workers=4)
+    assert set(series) == {"ttg-parsec", "ttg-madness", "native-madness"}
+    for s in series.values():
+        assert all(y > 0 for y in s.ys)
+
+
+def test_bench_scale_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    assert figures.bench_scale() == "small"
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "LARGE")
+    assert figures.bench_scale() == "large"
+
+
+def test_scaled_machine_helper():
+    from repro.sim.cluster import HAWK
+
+    m = figures.scaled(HAWK, 4)
+    assert m.node.workers == 4
+    assert m.network == HAWK.network

@@ -1,0 +1,53 @@
+"""Tests for the bench harness (series, tables, node lists)."""
+
+from repro.bench.harness import Series, geometric_nodes, print_series, print_table
+from repro.bench.figures import table1_configs
+
+
+def test_series_basics():
+    s = Series("x")
+    s.add(1, 10.0)
+    s.add(2, 20.0)
+    assert s.xs == [1, 2] and s.ys == [10.0, 20.0]
+    assert s.y_at(2) == 20.0
+    assert s.y_at(3) is None
+
+
+def test_series_monotone():
+    up = Series("up", [(1, 1.0), (2, 2.0), (4, 3.9)])
+    assert up.monotone_increasing()
+    down = Series("down", [(1, 2.0), (2, 1.0)])
+    assert not down.monotone_increasing()
+    wiggle = Series("w", [(1, 1.0), (2, 0.99)])
+    assert wiggle.monotone_increasing(tol=0.02)
+
+
+def test_geometric_nodes():
+    assert geometric_nodes(16) == [1, 2, 4, 8, 16]
+    assert geometric_nodes(20) == [1, 2, 4, 8, 16]
+    assert geometric_nodes(64, start=8) == [8, 16, 32, 64]
+    assert geometric_nodes(1) == [1]
+
+
+def test_print_table(capsys):
+    print_table("T", ["a", "bb"], [[1, 2], [30, 40]])
+    out = capsys.readouterr().out
+    assert "== T ==" in out and "30" in out and "bb" in out
+
+
+def test_print_series(capsys):
+    s1 = Series("one", [(1, 1.5), (2, 2.5)])
+    s2 = Series("two", [(2, 9.0)])
+    print_series("F", "n", [s1, s2])
+    out = capsys.readouterr().out
+    assert "one" in out and "two" in out
+    assert "9.0" in out
+    assert "-" in out  # missing point marker
+
+
+def test_table1_configs():
+    rows = table1_configs()
+    assert {r["machine"] for r in rows} == {"hawk", "seawulf"}
+    for r in rows:
+        assert r["workers/node"] > 0
+        assert r["net GB/s"] > 0

@@ -1,0 +1,44 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.bench.harness import Series
+from repro.bench.plot import ascii_chart, print_chart
+
+
+def test_chart_contains_marks_and_legend():
+    s1 = Series("alpha", [(1, 10.0), (4, 40.0)])
+    s2 = Series("beta", [(1, 5.0), (4, 20.0)])
+    out = ascii_chart([s1, s2], width=30, height=8, title="demo")
+    assert "demo" in out
+    assert "o alpha" in out and "x beta" in out
+    assert out.count("o") >= 2  # marks for both alpha points
+
+
+def test_chart_empty():
+    assert ascii_chart([Series("e")]) == "(no data)"
+
+
+def test_chart_single_point():
+    out = ascii_chart([Series("p", [(2, 7.0)])], width=20, height=5)
+    assert "o" in out
+
+
+def test_chart_handles_none_points():
+    s = Series("gap", [(1, 1.0), (2, None), (4, 4.0)])
+    out = ascii_chart([s], width=20, height=5)
+    assert "o" in out
+
+
+def test_chart_linear_x():
+    s = Series("lin", [(0, 0.0), (10, 10.0)])
+    out = ascii_chart([s], width=20, height=5, logx=False)
+    assert "o" in out
+
+
+def test_chart_ylabel():
+    out = ascii_chart([Series("y", [(1, 1.0)])], ylabel="Gflop/s")
+    assert "Gflop/s" in out
+
+
+def test_print_chart(capsys):
+    print_chart([Series("c", [(1, 2.0), (2, 3.0)])], width=20, height=5)
+    assert "c" in capsys.readouterr().out

@@ -1,0 +1,75 @@
+"""Tests for the spy plot and the RMA data-life-cycle leak check."""
+
+import numpy as np
+import pytest
+
+from repro.comm.rma import RmaError
+from repro.linalg import BlockSparseMatrix, IrregularTiling, yukawa_blocksparse
+from repro.linalg.tile import MatrixTile
+from repro.runtime import ParsecBackend
+from repro.sim.cluster import Cluster, HAWK
+
+
+def test_spy_renders_density_levels():
+    t = IrregularTiling([4] * 8)
+    m = BlockSparseMatrix(t, t)
+    for i in range(8):
+        m.set_block(i, i, MatrixTile.synthetic(4, 4))
+    out = m.spy(width=8)
+    lines = out.splitlines()
+    assert "occupancy 0.12" in lines[0]
+    assert len(lines) == 9
+    # diagonal marked, off-diagonal blank
+    assert lines[1][1] != " "
+    assert lines[1][8] == " "
+
+
+def test_spy_full_matrix_all_dense():
+    t = IrregularTiling([4, 4])
+    m = BlockSparseMatrix(t, t)
+    for i in range(2):
+        for j in range(2):
+            m.set_block(i, j, MatrixTile.synthetic(4, 4))
+    out = m.spy(width=2)
+    assert "#" in out and " |" not in out.splitlines()[1]
+
+
+def test_spy_yukawa_banded():
+    m = yukawa_blocksparse(120, target_tile=48, decay_length=1.0, seed=3,
+                           synthetic=True)
+    out = m.spy(width=30)
+    assert out.count("\n") >= 10
+
+
+def test_rma_live_handles_counts():
+    from repro.comm.endpoint import CommEngine
+    from repro.comm.rma import RmaWindow
+
+    comm = CommEngine(Cluster(HAWK, 2))
+    win = RmaWindow(comm)
+    assert win.live_handles() == 0
+    h = win.register(0, None, 100)
+    assert win.live_handles() == 1
+    win.release(h)
+    assert win.live_handles() == 0
+
+
+def test_backend_detects_data_lifecycle_leak():
+    be = ParsecBackend(Cluster(HAWK, 2))
+    # Register a region that is never released: run() must flag it.
+    be.rma.register(0, None, 1024)
+    with pytest.raises(RmaError, match="never released"):
+        be.run()
+
+
+def test_clean_run_has_no_leaks():
+    from repro.apps.cholesky import cholesky_ttg
+    from repro.linalg import BlockCyclicDistribution, TiledMatrix
+
+    # Large synthetic tiles force splitmd transfers; all must be released.
+    a = TiledMatrix(2048, 256, BlockCyclicDistribution.for_ranks(4),
+                    synthetic=True)
+    be = ParsecBackend(Cluster(HAWK, 4))
+    cholesky_ttg(a, be)
+    assert be.rma.live_handles() == 0
+    assert be.stats.rma_transfers == be.stats.splitmd_releases > 0

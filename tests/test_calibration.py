@@ -1,0 +1,74 @@
+"""Calibration guard: the machine constants documented in
+docs/simulator.md and EXPERIMENTS.md must match the code, and basic
+cost-model identities must hold exactly."""
+
+import pytest
+
+from repro.linalg.kernels import effective_flops, kernel_efficiency
+from repro.sim.cluster import HAWK, SEAWULF
+from repro.sim.network import NetworkSpec
+from repro.sim.node import NodeSpec
+
+
+def test_hawk_documented_constants():
+    assert HAWK.node.workers == 60
+    assert HAWK.node.flops_per_worker == 25.0e9
+    assert HAWK.node.mem_bandwidth == 300.0e9
+    assert HAWK.node.copy_bandwidth == 8.0e9
+    assert HAWK.network.bandwidth == 24.0e9
+    assert HAWK.network.latency == pytest.approx(1.1e-6)
+    assert HAWK.network.eager_threshold == 8192
+
+
+def test_seawulf_documented_constants():
+    assert SEAWULF.node.workers == 38
+    assert SEAWULF.node.flops_per_worker == 28.0e9
+    assert SEAWULF.node.copy_bandwidth == 6.0e9
+    assert SEAWULF.network.bandwidth == 6.8e9
+    assert SEAWULF.network.latency == pytest.approx(1.3e-6)
+
+
+def test_kernel_efficiency_documented_points():
+    # docs/simulator.md: ~0.57 at b=64 and ~0.91 at b=512 (n_1/2 = 48)
+    assert kernel_efficiency(64) == pytest.approx(64 / 112)
+    assert kernel_efficiency(512) == pytest.approx(512 / 560)
+    assert effective_flops(1.0, 48) == pytest.approx(2.0)
+
+
+def test_roofline_identity():
+    node = NodeSpec(workers=10, flops_per_worker=1e9, mem_bandwidth=10e9,
+                    task_overhead=1e-6)
+    # flop-bound task
+    assert node.compute_time(2e9) == pytest.approx(2.0 + 1e-6)
+    # memory-bound task: per-worker bandwidth is 1e9
+    assert node.compute_time(1.0, bytes_moved=3e9) == pytest.approx(3.0 + 1e-6)
+
+
+def test_transfer_time_identity():
+    spec = NetworkSpec(latency=2e-6, bandwidth=10e9, eager_threshold=1000)
+    from repro.sim.engine import Engine
+    from repro.sim.network import NetworkModel
+
+    net = NetworkModel(spec, 2, Engine())
+    # eager: alpha + n/beta
+    assert net.transfer_time(1000) == pytest.approx(2e-6 + 1000 / 10e9)
+    # rendezvous adds 2 alpha
+    assert net.transfer_time(1001) == pytest.approx(3 * 2e-6 + 1001 / 10e9)
+
+
+def test_nominal_vs_real_tile_costs_agree():
+    """A synthetic tile must be charged exactly like a real one."""
+    import numpy as np
+
+    from repro.linalg.tile import MatrixTile
+    from repro.runtime import ParsecBackend
+    from repro.sim.cluster import Cluster
+
+    def one_send(tile):
+        be = ParsecBackend(Cluster(HAWK, 2))
+        be.send_value(0, 1, tile, lambda v: None)
+        return be.run()
+
+    t_synth = one_send(MatrixTile.synthetic(128, 128))
+    t_real = one_send(MatrixTile(128, 128, np.zeros((128, 128))))
+    assert t_synth == pytest.approx(t_real, rel=1e-3)

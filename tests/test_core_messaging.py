@@ -1,0 +1,193 @@
+"""Tests for the messaging API surface: free functions, modes, handles."""
+
+import pytest
+
+from repro import core as ttg
+from repro.core.exceptions import DeliveryError
+from repro.core.messaging import MODES, TaskOutputs, current_outputs
+from repro.runtime import ParsecBackend
+from repro.sim.cluster import Cluster, HAWK
+
+
+def backend(nnodes=4):
+    return ParsecBackend(Cluster(HAWK, nnodes))
+
+
+def run_single(body, out_edges, consumers, nnodes=4, key=0):
+    """Spawn `body` as a source tt and drain; consumers is a list of
+    (edge, fn, keymap) sinks."""
+    S = ttg.make_tt(body, [], out_edges, name="S", keymap=lambda k: 0)
+    tts = [S]
+    for e, fn, km in consumers:
+        tts.append(ttg.make_tt(fn, [e], [], keymap=km))
+    ex = ttg.TaskGraph(tts).executable(backend(nnodes))
+    ex.invoke(S, key)
+    ex.fence()
+    return ex
+
+
+def test_sendk_pure_control():
+    e = ttg.Edge("ctl", value_type=ttg.Void)
+    got = []
+
+    def body(key, outs):
+        ttg.sendk(0, 42)
+
+    run_single(body, [e], [(e, lambda k, v, outs: got.append((k, v)), lambda k: 0)])
+    assert got == [(42, None)]
+
+
+def test_sendv_pure_data():
+    e = ttg.Edge("data", key_type=ttg.Void)
+    got = []
+
+    def body(key, outs):
+        ttg.sendv(0, "payload")
+
+    run_single(body, [e], [(e, lambda k, v, outs: got.append((k, v)), lambda k: 0)])
+    assert got == [(None, "payload")]
+
+
+def test_free_broadcast():
+    e = ttg.Edge("b")
+    got = []
+
+    def body(key, outs):
+        ttg.broadcast(0, [1, 2, 3], "x")
+
+    run_single(body, [e], [(e, lambda k, v, outs: got.append(k), lambda k: k % 4)])
+    assert sorted(got) == [1, 2, 3]
+
+
+def test_free_broadcast_multi():
+    e1, e2 = ttg.Edge("m1"), ttg.Edge("m2")
+    got = []
+
+    def body(key, outs):
+        ttg.broadcast_multi([(0, [1]), (1, [2])], "y")
+
+    run_single(
+        body,
+        [e1, e2],
+        [
+            (e1, lambda k, v, outs: got.append(("t0", k, v)), lambda k: 0),
+            (e2, lambda k, v, outs: got.append(("t1", k, v)), lambda k: 0),
+        ],
+    )
+    assert sorted(got) == [("t0", 1, "y"), ("t1", 2, "y")]
+
+
+def test_explicit_out_handle_overrides_context():
+    e = ttg.Edge("h")
+    got = []
+
+    def body(key, outs):
+        ttg.send(0, key, "via-handle", out=outs)
+
+    run_single(body, [e], [(e, lambda k, v, outs: got.append(v), lambda k: 0)])
+    assert got == ["via-handle"]
+
+
+def test_invalid_mode_rejected():
+    e = ttg.Edge("mode")
+
+    def body(key, outs):
+        outs.send(0, 0, "x", mode="bogus")
+
+    S = ttg.make_tt(body, [], [e], keymap=lambda k: 0)
+    C = ttg.make_tt(lambda k, v, outs: None, [e], [], keymap=lambda k: 0)
+    ex = ttg.TaskGraph([S, C]).executable(backend(1))
+    ex.invoke(S, 0)
+    with pytest.raises(DeliveryError):
+        ex.fence()
+    assert MODES == ("value", "cref", "move")
+
+
+def test_unknown_output_terminal_index_and_name():
+    e = ttg.Edge("u")
+
+    def body_idx(key, outs):
+        outs.send(5, 0, "x")
+
+    S = ttg.make_tt(body_idx, [], [e], keymap=lambda k: 0)
+    C = ttg.make_tt(lambda k, v, outs: None, [e], [], keymap=lambda k: 0)
+    ex = ttg.TaskGraph([S, C]).executable(backend(1))
+    ex.invoke(S, 0)
+    with pytest.raises(DeliveryError):
+        ex.fence()
+
+
+def test_outputs_expose_rank_and_nranks():
+    e = ttg.Edge("meta")
+    seen = []
+
+    def body(key, outs):
+        seen.append((outs.rank, outs.nranks))
+        outs.send(0, key, 1)
+
+    run_single(body, [e], [(e, lambda k, v, outs: None, lambda k: 0)], nnodes=3)
+    assert seen == [(0, 3)]
+
+
+def test_broadcast_empty_keys_is_noop():
+    e = ttg.Edge("empty")
+
+    def body(key, outs):
+        outs.broadcast(0, [], "never")
+
+    S = ttg.make_tt(body, [], [e], name="S", keymap=lambda k: 0)
+    C = ttg.make_tt(lambda k, v, outs: None, [e], [], keymap=lambda k: 0)
+    be = backend(2)
+    ex = ttg.TaskGraph([S, C]).executable(be)
+    ex.invoke(S, 0)
+    ex.fence()
+    assert dict(ex.task_counts) == {"S": 1}
+
+
+def test_value_mode_isolates_sender_mutation():
+    e = ttg.Edge("iso")
+    from repro.linalg.tile import MatrixTile
+    import numpy as np
+
+    received = []
+
+    def body(key, outs):
+        t = MatrixTile.zeros(2, 2)
+        outs.send(0, 0, t, mode="value")
+        t.data[0, 0] = 99.0  # mutate after sending: receiver must not see it
+
+    def sink(key, tile, outs):
+        received.append(tile.data[0, 0])
+
+    run_single(body, [e], [(e, sink, lambda k: 0)], nnodes=1)
+    assert received == [0.0]
+
+
+def test_move_mode_shares_object_locally():
+    e = ttg.Edge("mv")
+    from repro.linalg.tile import MatrixTile
+
+    src_tile = MatrixTile.zeros(2, 2)
+    received = []
+
+    def body(key, outs):
+        outs.send(0, 0, src_tile, mode="move")
+
+    def sink(key, tile, outs):
+        received.append(tile)
+
+    run_single(body, [e], [(e, sink, lambda k: 0)], nnodes=1)
+    assert received[0] is src_tile  # zero-copy hand-off
+
+
+def test_current_outputs_inside_body():
+    e = ttg.Edge("cur")
+    ok = []
+
+    def body(key, outs):
+        assert current_outputs() is outs
+        ok.append(True)
+        outs.send(0, key, 1)
+
+    run_single(body, [e], [(e, lambda k, v, outs: None, lambda k: 0)])
+    assert ok == [True]

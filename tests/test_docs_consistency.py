@@ -1,0 +1,57 @@
+"""Documentation consistency: the docs must reference real artifacts."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_design_mentions_every_figure_bench():
+    design = (ROOT / "DESIGN.md").read_text()
+    for bench in (ROOT / "benchmarks").glob("test_*.py"):
+        stem = bench.name
+        # fig13 benches are referenced with ::test ids; others by filename
+        assert stem in design or stem.replace(".py", "") in design, stem
+
+
+def test_experiments_covers_every_paper_item():
+    exp = (ROOT / "EXPERIMENTS.md").read_text()
+    for item in ("Table I", "Fig 5", "Fig 6", "Fig 8", "Fig 9", "Fig 11",
+                 "Fig 12", "Fig 13a/b", "Ablations"):
+        assert item in exp, item
+
+
+def test_readme_architecture_mentions_every_package():
+    readme = (ROOT / "README.md").read_text()
+    src = ROOT / "src" / "repro"
+    for pkg in src.iterdir():
+        if pkg.is_dir() and (pkg / "__init__.py").exists():
+            assert f"repro.{pkg.name}" in readme, pkg.name
+
+
+def test_docs_reference_existing_modules():
+    """Module paths mentioned in the guides must exist."""
+    text = (ROOT / "docs" / "model.md").read_text() + (
+        ROOT / "docs" / "simulator.md"
+    ).read_text()
+    for mod in re.findall(r"`repro\.([a-z_.]+)`", text):
+        parts = mod.split(".")
+        path = ROOT / "src" / "repro"
+        for p in parts:
+            nxt_dir = path / p
+            nxt_file = path / f"{p}.py"
+            assert nxt_dir.is_dir() or nxt_file.exists(), mod
+            path = nxt_dir
+        # attribute references like repro.sim.profile are fine as files
+
+
+def test_design_no_title_collision_note():
+    design = (ROOT / "DESIGN.md").read_text()
+    assert "no title collision" in design
+
+
+def test_changelog_and_contributing_exist():
+    assert (ROOT / "CHANGELOG.md").read_text().startswith("# Changelog")
+    assert "pytest" in (ROOT / "CONTRIBUTING.md").read_text()

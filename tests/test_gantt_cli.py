@@ -1,0 +1,75 @@
+"""Tests for the Gantt SVG export and the bench CLI."""
+
+import numpy as np
+import pytest
+
+from repro.apps.floydwarshall import floyd_warshall_ttg
+from repro.bench.__main__ import main as bench_main
+from repro.linalg import BlockCyclicDistribution, TiledMatrix, random_weight_matrix
+from repro.runtime import ParsecBackend
+from repro.sim import Cluster, HAWK, Tracer
+from repro.sim.gantt import gantt_svg, write_gantt
+
+
+@pytest.fixture(scope="module")
+def traced():
+    tracer = Tracer()
+    cluster = Cluster(HAWK, 2)
+    w = random_weight_matrix(48, seed=1)
+    W = TiledMatrix.from_dense(w, 16, BlockCyclicDistribution.for_ranks(2))
+    floyd_warshall_ttg(W, ParsecBackend(cluster, tracer=tracer))
+    return tracer, cluster
+
+
+def test_gantt_svg_structure(traced):
+    tracer, cluster = traced
+    svg = gantt_svg(tracer, cluster)
+    assert svg.startswith("<svg")
+    assert svg.endswith("</svg>")
+    assert svg.count("<rect") >= len(tracer.tasks)
+    assert "FW_D" in svg  # legend entry
+    assert "rank 0" in svg and "rank 1" in svg
+
+
+def test_gantt_rect_count_capped(traced):
+    tracer, cluster = traced
+    svg = gantt_svg(tracer, cluster, max_lanes=1)
+    assert svg.count("rank") >= 1
+
+
+def test_gantt_empty_trace():
+    svg = gantt_svg(Tracer())
+    assert "empty trace" in svg
+
+
+def test_write_gantt(tmp_path, traced):
+    tracer, cluster = traced
+    path = tmp_path / "run.svg"
+    write_gantt(str(path), tracer, cluster)
+    assert path.read_text().startswith("<svg")
+
+
+def test_gantt_escapes_keys():
+    tracer = Tracer()
+    tracer.record_task("<evil>", "<key&>", 0, 0, 0.0, 1.0)
+    svg = gantt_svg(tracer)
+    assert "<evil>" not in svg
+    assert "&lt;evil&gt;" in svg
+
+
+def test_cli_table1(capsys):
+    assert bench_main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "hawk" in out and "seawulf" in out
+
+
+def test_cli_figure_with_max_nodes(capsys):
+    assert bench_main(["fig13b", "--max-nodes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 13b" in out
+    assert "ttg-parsec" in out
+
+
+def test_cli_rejects_unknown():
+    with pytest.raises(SystemExit):
+        bench_main(["fig99"])

@@ -1,0 +1,77 @@
+"""Tests for MatrixTile."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.tile import MatrixTile
+
+
+def test_construction_and_shape():
+    t = MatrixTile(3, 5, np.ones((3, 5)))
+    assert t.shape == (3, 5)
+    assert t.nbytes == 3 * 5 * 8
+    assert not t.is_synthetic
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        MatrixTile(3, 3, np.ones((2, 2)))
+
+
+def test_invalid_dims():
+    with pytest.raises(ValueError):
+        MatrixTile(0, 3)
+
+
+def test_zeros_and_synthetic():
+    z = MatrixTile.zeros(4, 4)
+    assert np.all(z.data == 0)
+    s = MatrixTile.synthetic(4, 4)
+    assert s.is_synthetic and s.nbytes == 128
+    assert s.norm() == 0.0
+
+
+def test_clone_independent():
+    t = MatrixTile.zeros(2, 2)
+    c = t.clone()
+    c.data[0, 0] = 9
+    assert t.data[0, 0] == 0
+    assert MatrixTile.synthetic(2, 2).clone().is_synthetic
+
+
+def test_equality_and_allclose():
+    a = MatrixTile(2, 2, np.eye(2))
+    b = MatrixTile(2, 2, np.eye(2))
+    assert a == b
+    assert a.allclose(b)
+    b.data[0, 0] += 1e-12
+    assert a != b
+    assert a.allclose(b)
+    assert a != MatrixTile.synthetic(2, 2)
+    assert MatrixTile.synthetic(2, 2) == MatrixTile.synthetic(2, 2)
+
+
+def test_norm():
+    t = MatrixTile(2, 2, np.array([[3.0, 0], [0, 4.0]]))
+    assert t.norm() == pytest.approx(5.0)
+
+
+def test_dtype_coerced_to_float64():
+    t = MatrixTile(2, 2, np.ones((2, 2), dtype=np.int32))
+    assert t.data.dtype == np.float64
+
+
+def test_splitmd_real_roundtrip():
+    rng = np.random.default_rng(0)
+    t = MatrixTile(4, 6, rng.standard_normal((4, 6)))
+    meta = t.splitmd_metadata()
+    clone = MatrixTile.splitmd_allocate(meta)
+    clone.splitmd_fill(t.splitmd_payload())
+    assert clone.allclose(t)
+
+
+def test_splitmd_synthetic():
+    t = MatrixTile.synthetic(3, 3)
+    assert t.splitmd_payload() is None
+    clone = MatrixTile.splitmd_allocate(t.splitmd_metadata())
+    assert clone.is_synthetic

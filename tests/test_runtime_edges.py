@@ -1,0 +1,65 @@
+"""Runtime corner cases: rank bounds, stats dict, engine edge behavior."""
+
+import pytest
+
+from repro.runtime import ParsecBackend
+from repro.runtime.base import BackendConfig, RunStats
+from repro.sim.cluster import Cluster, HAWK
+from repro.sim.engine import Engine
+
+
+def test_submit_out_of_range_rank():
+    be = ParsecBackend(Cluster(HAWK, 2))
+    with pytest.raises(IndexError):
+        be.submit(5, lambda: None)
+
+
+def test_stats_as_dict_round_trip():
+    s = RunStats(tasks_executed=3, remote_bytes=100)
+    d = s.as_dict()
+    assert d["tasks_executed"] == 3
+    assert d["remote_bytes"] == 100
+    assert set(d) == set(RunStats().as_dict())
+
+
+def test_schedule_at_now_is_allowed():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    eng.run()
+    hit = []
+    eng.schedule_at(eng.now, hit.append, 1)  # exactly now: legal
+    eng.run()
+    assert hit == [1]
+
+
+def test_empty_whitelist_blocks_all_protocols():
+    be = ParsecBackend(
+        Cluster(HAWK, 2), config=BackendConfig(serialization_allowed=())
+    )
+    with pytest.raises(TypeError):
+        be.send_value(0, 1, {"x": 1}, lambda v: None)
+
+
+def test_nranks_and_capabilities():
+    be = ParsecBackend(Cluster(HAWK, 3))
+    assert be.nranks == 3
+    assert be.supports_splitmd is True
+    from repro.runtime import MadnessBackend
+
+    bm = MadnessBackend(Cluster(HAWK, 3))
+    assert bm.supports_splitmd is False
+    assert bm.config.copy_on_cref is True
+
+
+def test_queued_and_busy_counters():
+    machine = HAWK.with_workers(1)
+    be = ParsecBackend(Cluster(machine, 1))
+    be.submit(0, lambda: None, flops=2.5e10)  # 1 s: occupies the worker
+    be.submit(0, lambda: None)
+    be.submit(0, lambda: None)
+    pool = be.pools[0]
+    assert pool.busy_workers == 1
+    assert pool.queued == 2
+    be.run()
+    assert pool.busy_workers == 0
+    assert pool.queued == 0

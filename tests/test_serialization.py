@@ -1,0 +1,220 @@
+"""Tests for archives, protocols, splitmd and trait-based selection."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.tile import MatrixTile
+from repro.serialization.archive import ArchiveError, BufferInputArchive, BufferOutputArchive
+from repro.serialization.protocols import (
+    GenericProtocol,
+    MadnessProtocol,
+    TrivialProtocol,
+    wire_size,
+)
+from repro.serialization.splitmd import (
+    SplitMetadataProtocol,
+    pack_metadata,
+    payload_nbytes,
+    unpack_metadata,
+)
+from repro.serialization.traits import (
+    is_trivially_serializable,
+    register_trivial,
+    select_protocol,
+    supports_splitmd,
+)
+
+
+# ------------------------------------------------------------------ archive
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        42,
+        -(2**40),
+        3.14159,
+        True,
+        False,
+        "héllo world",
+        b"\x00\x01binary",
+        [1, 2, {"a": (3, 4)}],
+        {"nested": [None, 1.5]},
+    ],
+)
+def test_archive_roundtrip_scalars(value):
+    ar = BufferOutputArchive()
+    ar.store(value)
+    out = BufferInputArchive(ar.bytes()).load()
+    assert out == value
+    assert type(out) is type(value)
+
+
+def test_archive_roundtrip_ndarray():
+    a = np.arange(24, dtype=np.float64).reshape(4, 6)
+    ar = BufferOutputArchive().store(a)
+    out = BufferInputArchive(ar.bytes()).load()
+    assert isinstance(out, np.ndarray)
+    assert out.dtype == a.dtype
+    assert np.array_equal(out, a)
+
+
+def test_archive_roundtrip_noncontiguous_array():
+    a = np.arange(24, dtype=np.int32).reshape(4, 6)[:, ::2]
+    out = BufferInputArchive(BufferOutputArchive().store(a).bytes()).load()
+    assert np.array_equal(out, a)
+
+
+def test_archive_multiple_frames():
+    ar = BufferOutputArchive()
+    ar.store(1).store("two").store(3.0)
+    ia = BufferInputArchive(ar.bytes())
+    assert ia.load() == 1
+    assert ia.load() == "two"
+    assert ia.load() == 3.0
+    assert ia.at_end()
+
+
+def test_archive_underflow():
+    ar = BufferOutputArchive().store(12345)
+    data = ar.bytes()[:-2]
+    with pytest.raises(ArchiveError):
+        BufferInputArchive(data).load()
+
+
+def test_archive_nbytes_grows():
+    ar = BufferOutputArchive()
+    n0 = ar.nbytes
+    ar.store(np.zeros(100))
+    assert ar.nbytes > n0 + 800
+
+
+# ---------------------------------------------------------------- protocols
+
+
+def test_wire_size_uses_nominal():
+    t = MatrixTile.synthetic(64, 64)
+    assert wire_size(t, 50) == 64 * 64 * 8
+    assert wire_size(123, 50) == 50
+
+
+def test_generic_roundtrip_and_copies():
+    p = GenericProtocol()
+    msg = p.serialize({"k": [1, 2, 3]})
+    assert msg.protocol == "generic"
+    assert msg.sender_copy_bytes == msg.eager_bytes
+    assert msg.receiver_copy_bytes == msg.eager_bytes
+    assert p.deserialize(msg) == {"k": [1, 2, 3]}
+
+
+def test_madness_double_copies():
+    p = MadnessProtocol()
+    msg = p.serialize([1.0] * 10)
+    assert msg.sender_copy_bytes == 2 * msg.eager_bytes
+    assert msg.receiver_copy_bytes == 2 * msg.eager_bytes
+    assert p.deserialize(msg) == [1.0] * 10
+
+
+def test_trivial_applicable_to_scalars_and_tuples():
+    p = TrivialProtocol()
+    assert p.applicable(5)
+    assert p.applicable((1, 2, 3))
+    assert p.applicable(2.5)
+    assert not p.applicable([1, 2])
+    assert not p.applicable({"a": 1})
+
+
+def test_trivial_roundtrip():
+    p = TrivialProtocol()
+    msg = p.serialize((3, 4))
+    assert msg.receiver_copy_bytes == 0
+    assert p.deserialize(msg) == (3, 4)
+
+
+def test_register_trivial():
+    class Pod:
+        __trivially_serializable__ = False
+        nbytes = 16
+
+        def __eq__(self, other):
+            return isinstance(other, Pod)
+
+    assert not is_trivially_serializable(Pod())
+    register_trivial(Pod)
+    assert is_trivially_serializable(Pod())
+
+
+def test_dunder_trivial_flag():
+    class Pod2:
+        __trivially_serializable__ = True
+        nbytes = 8
+
+    assert is_trivially_serializable(Pod2())
+
+
+# ------------------------------------------------------------------ splitmd
+
+
+def test_tile_supports_splitmd():
+    assert supports_splitmd(MatrixTile.zeros(4, 4))
+    assert not supports_splitmd(42)
+    assert not supports_splitmd("text")
+
+
+def test_splitmd_roundtrip_tile():
+    p = SplitMetadataProtocol()
+    rng = np.random.default_rng(0)
+    t = MatrixTile(5, 7, rng.standard_normal((5, 7)))
+    msg = p.serialize(t)
+    assert msg.protocol == "splitmd"
+    assert msg.rma_bytes == 5 * 7 * 8
+    assert msg.sender_copy_bytes == 0 and msg.receiver_copy_bytes == 0
+    out = p.deserialize(msg)
+    assert isinstance(out, MatrixTile)
+    assert out.allclose(t)
+
+
+def test_splitmd_synthetic_tile_charges_nominal():
+    p = SplitMetadataProtocol()
+    t = MatrixTile.synthetic(32, 32)
+    msg = p.serialize(t)
+    assert msg.rma_bytes == 32 * 32 * 8
+    out = p.deserialize(msg)
+    assert out.shape == (32, 32)
+
+
+def test_pack_unpack_metadata():
+    t = MatrixTile.zeros(3, 3)
+    cls, meta = unpack_metadata(pack_metadata(t))
+    assert cls is MatrixTile
+    assert meta == (3, 3, True)
+
+
+def test_payload_nbytes():
+    assert payload_nbytes(MatrixTile.zeros(2, 2)) == 32
+    assert payload_nbytes(MatrixTile.synthetic(2, 2)) == 32
+
+
+# ------------------------------------------------------------------- traits
+
+
+def test_select_protocol_preference_order():
+    tile = MatrixTile.zeros(8, 8)
+    assert select_protocol(tile, backend_supports_splitmd=True).name == "splitmd"
+    assert select_protocol(tile, backend_supports_splitmd=False).name == "generic"
+    assert select_protocol(5, backend_supports_splitmd=True).name == "trivial"
+    assert select_protocol([1, 2], backend_supports_splitmd=False).name == "generic"
+
+
+def test_select_protocol_whitelist():
+    tile = MatrixTile.zeros(4, 4)
+    p = select_protocol(
+        tile, backend_supports_splitmd=True, allowed=("trivial", "madness")
+    )
+    assert p.name == "madness"
+
+
+def test_select_protocol_nothing_applicable():
+    with pytest.raises(TypeError):
+        select_protocol(MatrixTile.zeros(2, 2), allowed=("trivial",))

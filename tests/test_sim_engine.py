@@ -1,0 +1,179 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, EngineError
+
+
+def test_runs_in_time_order():
+    eng = Engine()
+    hits = []
+    eng.schedule(2.0, hits.append, "late")
+    eng.schedule(1.0, hits.append, "early")
+    eng.schedule(3.0, hits.append, "last")
+    eng.run()
+    assert hits == ["early", "late", "last"]
+
+
+def test_ties_break_by_schedule_order():
+    eng = Engine()
+    hits = []
+    for i in range(10):
+        eng.schedule(1.0, hits.append, i)
+    eng.run()
+    assert hits == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    eng = Engine()
+    eng.schedule(5.0, lambda: None)
+    eng.run()
+    assert eng.now == 5.0
+
+
+def test_clock_does_not_go_backward():
+    eng = Engine()
+    times = []
+    eng.schedule(1.0, lambda: times.append(eng.now))
+    eng.schedule(1.0, lambda: times.append(eng.now))
+    eng.schedule(2.0, lambda: times.append(eng.now))
+    eng.run()
+    assert times == sorted(times)
+
+
+def test_schedule_during_run():
+    eng = Engine()
+    hits = []
+
+    def chain(n):
+        hits.append(n)
+        if n < 3:
+            eng.schedule(1.0, chain, n + 1)
+
+    eng.schedule(0.0, chain, 0)
+    eng.run()
+    assert hits == [0, 1, 2, 3]
+    assert eng.now == 3.0
+
+
+def test_zero_delay_events_run_after_current():
+    eng = Engine()
+    hits = []
+
+    def outer():
+        eng.schedule(0.0, hits.append, "inner")
+        hits.append("outer")
+
+    eng.schedule(1.0, outer)
+    eng.run()
+    assert hits == ["outer", "inner"]
+
+
+def test_schedule_in_past_raises():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    eng.run()
+    with pytest.raises(EngineError):
+        eng.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    eng = Engine()
+    with pytest.raises(EngineError):
+        eng.schedule(-1.0, lambda: None)
+
+
+def test_cancel_skips_event():
+    eng = Engine()
+    hits = []
+    ev = eng.schedule(1.0, hits.append, "cancelled")
+    eng.schedule(2.0, hits.append, "kept")
+    ev.cancel()
+    eng.run()
+    assert hits == ["kept"]
+
+
+def test_empty_accounts_for_cancelled():
+    eng = Engine()
+    ev = eng.schedule(1.0, lambda: None)
+    assert not eng.empty()
+    ev.cancel()
+    assert eng.empty()
+
+
+def test_run_until_stops_clock():
+    eng = Engine()
+    hits = []
+    eng.schedule(1.0, hits.append, 1)
+    eng.schedule(5.0, hits.append, 5)
+    eng.run(until=2.0)
+    assert hits == [1]
+    assert eng.now == 2.0
+    eng.run()
+    assert hits == [1, 5]
+
+
+def test_run_max_events():
+    eng = Engine()
+    hits = []
+    for i in range(5):
+        eng.schedule(float(i + 1), hits.append, i)
+    eng.run(max_events=2)
+    assert hits == [0, 1]
+
+
+def test_events_processed_counter():
+    eng = Engine()
+    for i in range(4):
+        eng.schedule(1.0, lambda: None)
+    eng.run()
+    assert eng.events_processed == 4
+
+
+def test_step_returns_false_when_empty():
+    eng = Engine()
+    assert eng.step() is False
+    eng.schedule(1.0, lambda: None)
+    assert eng.step() is True
+    assert eng.step() is False
+
+
+def test_reset():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    eng.run()
+    eng.reset()
+    assert eng.now == 0.0
+    assert eng.empty()
+    assert eng.events_processed == 0
+
+
+def test_reentrant_run_raises():
+    eng = Engine()
+
+    def recurse():
+        eng.run()
+
+    eng.schedule(1.0, recurse)
+    with pytest.raises(EngineError):
+        eng.run()
+
+
+def test_determinism_same_schedule_same_trace():
+    def build():
+        eng = Engine()
+        hits = []
+        for i in range(50):
+            eng.schedule((i * 7) % 5 * 0.25, hits.append, i)
+        eng.run()
+        return hits
+
+    assert build() == build()
+
+
+def test_args_passed_through():
+    eng = Engine()
+    out = []
+    eng.schedule(1.0, lambda a, b, c: out.append(a + b + c), 1, 2, 3)
+    eng.run()
+    assert out == [6]

@@ -1,0 +1,75 @@
+"""Tests for the profiling module (and tracer integration with real runs)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cholesky import cholesky_ttg
+from repro.linalg import BlockCyclicDistribution, TiledMatrix, spd_matrix
+from repro.runtime import ParsecBackend
+from repro.sim import Cluster, HAWK, Profile, Tracer
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    tracer = Tracer()
+    cluster = Cluster(HAWK, 4)
+    a = spd_matrix(96, seed=1)
+    A = TiledMatrix.from_dense(a, 16, BlockCyclicDistribution(2, 2),
+                               lower_only=True)
+    backend = ParsecBackend(cluster, tracer=tracer)
+    res = cholesky_ttg(A, backend)
+    return Profile(tracer, cluster), res
+
+
+def test_profile_template_stats(traced_run):
+    prof, res = traced_run
+    by_name = {s.name: s for s in prof.by_template()}
+    for name, count in res.task_counts.items():
+        assert by_name[name].count == count
+    gemm = by_name["GEMM"]
+    assert gemm.min_time <= gemm.mean_time <= gemm.max_time
+    assert gemm.total_time == pytest.approx(gemm.mean_time * gemm.count)
+
+
+def test_profile_sorted_by_total_time(traced_run):
+    prof, _ = traced_run
+    totals = [s.total_time for s in prof.by_template()]
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_profile_rank_stats(traced_run):
+    prof, res = traced_run
+    ranks = prof.by_rank()
+    assert len(ranks) == 4
+    assert sum(r.tasks for r in ranks) == sum(res.task_counts.values())
+    for r in ranks:
+        assert 0.0 <= r.utilization <= 1.0
+
+
+def test_parallel_efficiency_bounds(traced_run):
+    prof, _ = traced_run
+    assert 0.0 < prof.parallel_efficiency() <= 1.0
+
+
+def test_comm_summary(traced_run):
+    prof, _ = traced_run
+    comm = prof.comm_summary()
+    assert comm["messages"] > 0
+    assert comm["bytes"] > 0
+    assert comm["mean_latency"] > 0
+
+
+def test_report_renders(traced_run):
+    prof, _ = traced_run
+    rep = prof.report()
+    assert "makespan" in rep
+    assert "GEMM" in rep
+    assert "messages" in rep
+
+
+def test_profile_empty_trace():
+    prof = Profile(Tracer(), Cluster(HAWK, 2))
+    assert prof.parallel_efficiency() == 0.0
+    assert prof.by_template() == []
+    assert all(r.utilization == 0.0 for r in prof.by_rank())
+    assert "makespan" in prof.report()

@@ -1,0 +1,73 @@
+"""Tests for execution tracing."""
+
+import pytest
+
+from repro.sim.trace import Tracer
+
+
+def make_tracer():
+    tr = Tracer()
+    tr.record_task("A", 1, rank=0, worker=0, start=0.0, end=1.0)
+    tr.record_task("A", 2, rank=0, worker=1, start=0.5, end=2.0)
+    tr.record_task("B", 1, rank=1, worker=0, start=1.0, end=1.5)
+    tr.record_message(0, 1, 1000, sent=0.2, arrived=0.4, tag="x")
+    return tr
+
+
+def test_makespan():
+    assert make_tracer().makespan() == 2.0
+
+
+def test_empty_tracer():
+    tr = Tracer()
+    assert tr.makespan() == 0.0
+    assert tr.load_imbalance() == 1.0
+    assert tr.total_bytes() == 0
+    assert tr.gantt() == []
+    assert tr.critical_path_lower_bound() == 0.0
+    assert tr.overlap_histogram() == []
+
+
+def test_busy_time_by_rank():
+    busy = make_tracer().busy_time_by_rank()
+    assert busy[0] == pytest.approx(2.5)
+    assert busy[1] == pytest.approx(0.5)
+
+
+def test_task_counts():
+    assert make_tracer().task_counts() == {"A": 2, "B": 1}
+
+
+def test_load_imbalance():
+    tr = make_tracer()
+    # max 2.5, mean 1.5
+    assert tr.load_imbalance() == pytest.approx(2.5 / 1.5)
+
+
+def test_disabled_tracer_records_nothing():
+    tr = Tracer(enabled=False)
+    tr.record_task("A", 1, 0, 0, 0.0, 1.0)
+    tr.record_message(0, 1, 10, 0.0, 0.1)
+    assert tr.tasks == [] and tr.messages == []
+
+
+def test_gantt_sorted():
+    rows = make_tracer().gantt()
+    keys = [(r["rank"], r["worker"], r["start"]) for r in rows]
+    assert keys == sorted(keys)
+
+
+def test_total_bytes():
+    assert make_tracer().total_bytes() == 1000
+
+
+def test_critical_path_lower_bound():
+    assert make_tracer().critical_path_lower_bound() == pytest.approx(1.5)
+
+
+def test_overlap_histogram():
+    hist = make_tracer().overlap_histogram(bins=4)
+    assert len(hist) == 4
+    # near t=0.75 two tasks run
+    t, running = hist[1]
+    assert running == 2

@@ -1,0 +1,142 @@
+"""Executable-vs-analytic validation of the fork-join Cholesky model, plus
+property tests on the SPMD layer and network invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import scalapack_cholesky, slate_cholesky
+from repro.linalg.kernels import effective_flops, gemm_flops, potrf_flops, trsm_flops
+from repro.sim.cluster import Cluster, HAWK
+from repro.sim.engine import Engine
+from repro.sim.network import NetworkModel, NetworkSpec
+from repro.spmd import run_spmd
+
+_settings = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def test_spmd_forkjoin_cholesky_validates_slate_model():
+    """An actual SPMD program with SLATE's round structure (tile panel,
+    broadcasts, bulk update, barrier per iteration) lands within 3x of the
+    analytic fork-join model."""
+    nodes, n, b = 4, 4096, 256
+    machine = HAWK.with_workers(8)
+    nt = n // b
+    tile_bytes = b * b * 8
+
+    def program(ctx):
+        # 2x2 rank grid, block-cyclic tiles.
+        pr, pc = 2, 2
+        my_r, my_c = divmod(ctx.rank, pc)
+        for k in range(nt):
+            owner_kk = (k % pr) * pc + (k % pc)
+            if ctx.rank == owner_kk:
+                yield ctx.compute(effective_flops(potrf_flops(b), b), workers=4)
+            yield ctx.bcast(None, root=owner_kk, nbytes=tile_bytes)
+            # panel TRSMs on the owning column
+            my_tiles = sum(
+                1 for m in range(k + 1, nt)
+                if (m % pr) * pc + (k % pc) == ctx.rank
+            )
+            if my_tiles:
+                yield ctx.compute(my_tiles * effective_flops(trsm_flops(b), b))
+            yield ctx.bcast(None, root=owner_kk, nbytes=tile_bytes * max(1, nt - k - 1))
+            # trailing update
+            my_updates = sum(
+                1
+                for m in range(k + 1, nt)
+                for j in range(k + 1, m + 1)
+                if (m % pr) * pc + (j % pc) == ctx.rank
+            )
+            if my_updates:
+                yield ctx.compute(
+                    my_updates * effective_flops(gemm_flops(b, b, b), b)
+                )
+            yield ctx.barrier()
+
+    t_spmd = run_spmd(Cluster(machine, nodes), program)
+    t_model = slate_cholesky(Cluster(machine, nodes), n).makespan
+    assert 1 / 3 < t_spmd / t_model < 3.0, (t_spmd, t_model)
+
+
+# ------------------------------------------------------- SPMD properties
+
+
+@given(st.permutations(list(range(5))), st.permutations(list(range(5))))
+@_settings
+def test_spmd_any_matched_send_recv_order_completes(send_order, recv_order):
+    """Rank 0 sends 5 tagged messages in any order; rank 1 receives them
+    in any (tag-matched) order: always completes, values always correct."""
+    got = {}
+
+    def program(ctx):
+        if ctx.rank == 0:
+            for tag in send_order:
+                yield ctx.send(1, f"v{tag}", tag=tag)
+        else:
+            for tag in recv_order:
+                v = yield ctx.recv(0, tag=tag)
+                got[tag] = v
+
+    run_spmd(Cluster(HAWK, 2), program)
+    assert got == {t: f"v{t}" for t in range(5)}
+
+
+@given(st.integers(min_value=2, max_value=6), st.integers(min_value=1, max_value=3))
+@_settings
+def test_spmd_allreduce_consistency(nranks, rounds):
+    results = []
+
+    def program(ctx):
+        acc = ctx.rank
+        for _ in range(rounds):
+            acc = yield ctx.allreduce(acc)
+        results.append(acc)
+
+    run_spmd(Cluster(HAWK, nranks), program)
+    assert len(set(results)) == 1  # everyone agrees
+
+
+# ----------------------------------------------------- network properties
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=10**6),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@_settings
+def test_network_arrivals_respect_latency_and_fifo(msgs):
+    eng = Engine()
+    spec = NetworkSpec(latency=1e-6, bandwidth=1e9)
+    net = NetworkModel(spec, 4, eng)
+    last_arrival = {}
+    for src, dst, nbytes in msgs:
+        t = net.send(src, dst, nbytes)
+        if src != dst:
+            assert t >= spec.latency + nbytes / spec.bandwidth - 1e-15
+            key = (src, dst)
+            if key in last_arrival:
+                # FIFO per channel: arrivals never reorder
+                assert t >= last_arrival[key] - 1e-15
+            last_arrival[key] = t
+
+
+@given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=10**6))
+@_settings
+def test_collective_durations_monotone_in_ranks(nranks, nbytes):
+    eng = Engine()
+    net = NetworkModel(NetworkSpec(), 64, eng)
+    t1 = net.bcast_time(nranks, nbytes)
+    t2 = net.bcast_time(min(64, nranks * 2), nbytes)
+    assert t2 >= t1
+    assert net.barrier_time(nranks) <= net.barrier_time(min(64, nranks * 2))

@@ -1,0 +1,48 @@
+"""Tests for Chrome-tracing export and trace integration on real runs."""
+
+import json
+
+import pytest
+
+from repro.apps.bspmm import bspmm_ttg
+from repro.linalg import yukawa_blocksparse
+from repro.runtime import ParsecBackend
+from repro.sim import Cluster, HAWK, Tracer
+
+
+def test_chrome_trace_events_shape():
+    tr = Tracer()
+    tr.record_task("A", (1, 2), rank=0, worker=3, start=0.0, end=1e-3)
+    tr.record_message(0, 1, 512, sent=0.0, arrived=1e-4, tag="x")
+    events = tr.to_chrome_trace()
+    task = next(e for e in events if e["ph"] == "X")
+    assert task["pid"] == 0 and task["tid"] == 3
+    assert task["ts"] == 0.0 and task["dur"] == pytest.approx(1000.0)
+    assert task["args"]["key"] == "(1, 2)"
+    msg = next(e for e in events if e["ph"] == "i")
+    assert msg["args"] == {"src": 0, "nbytes": 512}
+
+
+def test_chrome_trace_zero_duration_clamped():
+    tr = Tracer()
+    tr.record_task("Z", 0, 0, 0, 1.0, 1.0)
+    (ev,) = tr.to_chrome_trace()
+    assert ev["dur"] > 0
+
+
+def test_write_chrome_trace_valid_json(tmp_path):
+    tr = Tracer()
+    cluster = Cluster(HAWK, 2)
+    a = yukawa_blocksparse(15, target_tile=24, seed=1)
+    bspmm_ttg(a, a, ParsecBackend(cluster, tracer=tr))
+    path = tmp_path / "trace.json"
+    tr.write_chrome_trace(str(path))
+    data = json.loads(path.read_text())
+    events = data["traceEvents"]
+    assert len(events) > 100
+    names = {e["name"] for e in events if e["ph"] == "X"}
+    assert "MULTIPLY_ADD" in names
+    # timestamps are monotone-compatible (all non-negative, within makespan)
+    span = tr.makespan() * 1e6
+    for e in events:
+        assert 0 <= e["ts"] <= span + 1e-6

@@ -1,0 +1,95 @@
+"""Tests for the MADNESS World (global namespace + RMI + fence)."""
+
+import pytest
+
+from repro.runtime.madness import MadnessBackend
+from repro.runtime.world import World, WorldError
+from repro.sim.cluster import Cluster, HAWK
+
+
+class Counter:
+    def __init__(self, rank, world):
+        self.rank = rank
+        self.value = 0
+
+    def bump(self, by):
+        self.value += by
+        return self.value
+
+    def read(self):
+        return self.value
+
+
+def make_world(nnodes=4):
+    return World(MadnessBackend(Cluster(HAWK, nnodes)))
+
+
+def test_register_creates_instance_per_rank():
+    w = make_world()
+    w.register("ctr", Counter)
+    assert all(w.local("ctr", r).rank == r for r in range(4))
+
+
+def test_double_register():
+    w = make_world()
+    w.register("ctr", Counter)
+    with pytest.raises(WorldError):
+        w.register("ctr", Counter)
+
+
+def test_unknown_object():
+    w = make_world()
+    with pytest.raises(WorldError):
+        w.local("nope", 0)
+
+
+def test_local_rmi():
+    w = make_world()
+    w.register("ctr", Counter)
+    fut = w.send(0, 0, "ctr", "bump", 5)
+    w.fence()
+    assert fut.get() == 5
+    assert w.local("ctr", 0).value == 5
+
+
+def test_remote_rmi_and_result_return():
+    w = make_world()
+    w.register("ctr", Counter)
+    fut = w.send(0, 2, "ctr", "bump", 7)
+    w.fence()
+    assert fut.get() == 7
+    assert w.local("ctr", 2).value == 7
+    assert w.local("ctr", 0).value == 0
+
+
+def test_rmi_charges_virtual_time():
+    w = make_world()
+    w.register("ctr", Counter)
+    w.send(0, 1, "ctr", "bump", 1, nbytes=10**6)
+    t = w.fence()
+    assert t >= 10**6 / HAWK.network.bandwidth
+
+
+def test_task_future():
+    w = make_world()
+    fut = w.task(1, lambda a, b: a * b, 6, 7, flops=1e6)
+    w.fence()
+    assert fut.get() == 42
+
+
+def test_fence_drains_chains():
+    w = make_world()
+    w.register("ctr", Counter)
+    done = []
+
+    def chain(i):
+        if i < 5:
+            w.send(0, i % 4, "ctr", "bump", 1).add_callback(lambda _: chain(i + 1))
+        else:
+            done.append(True)
+
+    chain(0)
+    w.fence()
+    assert done == [True]
+    total = sum(w.local("ctr", r).value for r in range(4))
+    assert total == 5
