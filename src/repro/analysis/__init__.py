@@ -1,0 +1,39 @@
+"""repro.analysis -- static flow-graph linter + runtime sanitizer (TTG-San).
+
+Two halves, one rule catalog (:mod:`repro.analysis.rules`):
+
+- :func:`lint_graph` / :func:`lint_ptg` statically analyze a constructed
+  :class:`~repro.core.graph.TaskGraph` for wiring defects (``TTG0xx``
+  rules) before any task runs;
+- :class:`Sanitizer` observes an execution for runtime faults
+  (``SAN0xx`` checks) with task/key provenance.
+
+Both are wired into :meth:`repro.core.graph.Executable.make`: strict mode
+raises on error-severity findings, the default warns.  The CLI
+(``python -m repro.analysis example.py``) lints any script that builds a
+graph and prints a rule-grouped report; see ``docs/analysis.md`` for the
+full catalog.
+"""
+
+from repro.analysis.rules import (
+    Finding,
+    Rule,
+    LINT_RULE_IDS,
+    SANITIZER_RULE_IDS,
+    all_rules,
+    get_rule,
+)
+from repro.analysis.lint import lint_graph, lint_ptg
+from repro.analysis.sanitizer import Sanitizer
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "LINT_RULE_IDS",
+    "SANITIZER_RULE_IDS",
+    "all_rules",
+    "get_rule",
+    "lint_graph",
+    "lint_ptg",
+    "Sanitizer",
+]

@@ -1,0 +1,186 @@
+"""``python -m repro.analysis`` -- lint the graphs a script constructs.
+
+The CLI executes each given Python file (as ``__main__``, exactly like
+running it), observes every :class:`~repro.core.graph.TaskGraph` and
+:class:`~repro.core.graph.Executable` the script builds via the
+construction-observer hook in :mod:`repro.core.graph`, lints them all,
+and prints one rule-grouped report per file::
+
+    python -m repro.analysis examples/quickstart.py
+    python -m repro.analysis examples/*.py --strict
+
+Exit status is 0 when no error-severity finding survives, 1 otherwise
+(``--strict`` also fails on warnings).  The script's own stdout is
+suppressed unless ``--verbose`` is given.
+
+File-scope waivers: a line ``# ttg-lint: disable=TTG005,TTG002`` anywhere
+in the linted file suppresses those rules for every graph it builds
+(template-level waivers use ``tt.lint_waive(...)`` in the code itself).
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import re
+import sys
+import traceback
+from contextlib import redirect_stdout
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
+
+from repro.analysis.lint import lint_graph
+from repro.analysis.rules import Finding, SEVERITIES
+from repro.core.graph import (
+    add_construction_observer,
+    remove_construction_observer,
+)
+
+_WAIVER_RE = re.compile(r"#\s*ttg-lint:\s*disable=([A-Z0-9, ]+)")
+
+
+def parse_waivers(source: str) -> Tuple[str, ...]:
+    """File-scope rule waivers declared in comments."""
+    out: List[str] = []
+    for m in _WAIVER_RE.finditer(source):
+        out.extend(part.strip() for part in m.group(1).split(",") if part.strip())
+    return tuple(out)
+
+
+class FileReport:
+    """Lint results for one executed script."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.graphs: List[Any] = []
+        self.nranks: Dict[int, int] = {}  # id(graph) -> bound cluster size
+        self.findings: List[Finding] = []
+        self.waived: Tuple[str, ...] = ()
+        self.crash: Optional[str] = None
+        self.script_output = ""
+
+    def counts(self) -> Dict[str, int]:
+        c = {s: 0 for s in SEVERITIES}
+        for f in self.findings:
+            c[f.rule.severity] += 1
+        return c
+
+    def failed(self, strict: bool = False) -> bool:
+        if self.crash is not None:
+            return True
+        c = self.counts()
+        return c["error"] > 0 or (strict and c["warning"] > 0)
+
+
+def lint_file(path: str) -> FileReport:
+    """Execute ``path`` and lint every graph it constructs."""
+    report = FileReport(path)
+    observed: List[Any] = []
+
+    def observer(kind: str, obj: Any) -> None:
+        if kind == "graph":
+            observed.append(obj)
+        elif kind == "executable":
+            report.nranks[id(obj.graph)] = obj.nranks
+
+    try:
+        with open(path) as fh:
+            source = fh.read()
+    except OSError as e:
+        report.crash = f"cannot read {path}: {e}"
+        return report
+    report.waived = parse_waivers(source)
+
+    globalns = {"__name__": "__main__", "__file__": path, "__builtins__": __builtins__}
+    add_construction_observer(observer)
+    buf = io.StringIO()
+    try:
+        with redirect_stdout(buf):
+            exec(compile(source, path, "exec"), globalns)
+    except SystemExit as e:
+        if e.code not in (None, 0):
+            report.crash = f"script exited with status {e.code}"
+    except BaseException:
+        report.crash = traceback.format_exc(limit=8)
+    finally:
+        remove_construction_observer(observer)
+        report.script_output = buf.getvalue()
+
+    report.graphs = observed
+    for g in observed:
+        report.findings.extend(
+            lint_graph(g, nranks=report.nranks.get(id(g)), ignore=report.waived)
+        )
+    return report
+
+
+# ------------------------------------------------------------------ reporting
+
+
+def format_report(report: FileReport, verbose: bool = False) -> str:
+    """Human-readable, rule-grouped report for one file."""
+    lines = [f"== repro.analysis == {report.path}"]
+    if report.crash is not None:
+        lines.append("  script failed to run:")
+        lines.extend("    " + ln for ln in report.crash.rstrip().splitlines())
+        return "\n".join(lines)
+
+    bound = [
+        f"{g.name}(nranks={report.nranks[id(g)]})"
+        for g in report.graphs
+        if id(g) in report.nranks
+    ]
+    unbound = [g.name for g in report.graphs if id(g) not in report.nranks]
+    desc = ", ".join(bound + unbound) or "none"
+    lines.append(f"  graphs: {len(report.graphs)} ({desc})")
+    if report.waived:
+        lines.append(f"  waived: {', '.join(report.waived)}")
+
+    by_rule: Dict[str, List[Finding]] = {}
+    for f in report.findings:
+        by_rule.setdefault(f.rule.id, []).append(f)
+    for rule_id in sorted(by_rule):
+        fs = by_rule[rule_id]
+        rule = fs[0].rule
+        lines.append(
+            f"  {rule.id} {rule.title} [{rule.severity}] x{len(fs)}"
+        )
+        for f in fs:
+            lines.append(f"    - {f.location}: {f.message}")
+        lines.append(f"    hint: {rule.hint}")
+
+    c = report.counts()
+    verdict = "FAIL" if report.failed() else "ok"
+    lines.append(
+        f"  {verdict}: {c['error']} error(s), {c['warning']} warning(s), "
+        f"{c['info']} info"
+    )
+    if verbose and report.script_output:
+        lines.append("  -- script output " + "-" * 40)
+        lines.extend("  | " + ln for ln in report.script_output.rstrip().splitlines())
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None, stream: TextIO = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically lint the task graphs built by Python scripts.",
+    )
+    parser.add_argument("files", nargs="+", help="scripts that construct TTGs")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail (exit 1) on warning-severity findings",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="include each script's own stdout in the report",
+    )
+    args = parser.parse_args(argv)
+    out = stream or sys.stdout
+
+    failed = False
+    for path in args.files:
+        report = lint_file(path)
+        print(format_report(report, verbose=args.verbose), file=out)
+        print(file=out)
+        failed = failed or report.failed(strict=args.strict)
+    return 1 if failed else 0

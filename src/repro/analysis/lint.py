@@ -1,0 +1,475 @@
+"""Static flow-graph linter: analyze a TaskGraph before execution.
+
+The C++ TTG catches a class of wiring defects at compile time through its
+typed edges; this Python reproduction replaces that with runtime checks,
+so defects like unconnected terminals, disjoint key types, or out-of-range
+keymaps otherwise surface mid-execution or never.  :func:`lint_graph`
+inspects a constructed (but not yet executing) graph and returns
+:class:`~repro.analysis.rules.Finding` objects for everything suspicious.
+
+Rule implementations are registered with the :func:`lint_rule` decorator;
+each receives a :class:`LintContext` and yields findings.  The rule
+catalog (ids, severities, hints) lives in :mod:`repro.analysis.rules` and
+is documented in ``docs/analysis.md``.
+
+Keymaps and priority maps are *probed*: we call them with a battery of
+representative task IDs (ints in ``[0, nranks)``, small tuples, ``None``,
+a string, an MRA-style tree key) and flag out-of-range ranks, non-int
+returns, and non-determinism.  A probe key a map cannot handle at all
+(raises) is silently skipped -- the key space is the application's
+business; only misbehaviour on keys a map *accepts* is a finding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.rules import Finding, get_rule
+from repro.core.edge import Void
+
+_LINT_RULES: List[Tuple[str, Callable[["LintContext"], Iterator[Finding]]]] = []
+
+
+def lint_rule(rule_id: str):
+    """Register a generator function implementing one lint rule."""
+
+    def deco(fn: Callable[["LintContext"], Iterator[Finding]]):
+        _LINT_RULES.append((rule_id, fn))
+        return fn
+
+    return deco
+
+
+class LintContext:
+    """Everything a rule implementation may inspect."""
+
+    def __init__(self, graph: Any, nranks: Optional[int]) -> None:
+        self.graph = graph
+        self.nranks = nranks
+        #: PTG front-end object when this graph was compiled from one.
+        self.ptg = getattr(graph, "_ptg", None)
+
+    # ------------------------------------------------------------- helpers
+
+    def finding(self, rule_id: str, location: str, message: str) -> Finding:
+        return Finding(get_rule(rule_id), message, location=location)
+
+    def loc(self, tt: Any, terminal: Any = None) -> str:
+        base = f"{self.graph.name}/{tt.name}"
+        return f"{base}.{terminal.name}" if terminal is not None else base
+
+    def probe_keys(self) -> List[Any]:
+        """Representative task IDs used to probe keymaps/priomaps."""
+        n = self.nranks if self.nranks else 4
+        keys: List[Any] = list(range(min(n, 16)))
+        keys += [(i, j) for i in range(2) for j in range(2)]
+        keys += [(1, 2), None, "k0", (0, 1, (0, 0, 0))]
+        return keys
+
+
+def lint_graph(
+    graph: Any,
+    nranks: Optional[int] = None,
+    ignore: Iterable[str] = (),
+) -> List[Finding]:
+    """Lint a constructed TaskGraph (or PTG-compiled graph).
+
+    Parameters
+    ----------
+    graph:
+        The :class:`~repro.core.graph.TaskGraph` to analyze.
+    nranks:
+        Cluster size for keymap range checks; ``None`` probes against a
+        nominal 4-rank cluster (range findings then only fire for maps
+        that are wrong for *any* cluster, e.g. non-deterministic ones).
+    ignore:
+        Rule ids to suppress globally.  Per-template suppression uses
+        ``tt.lint_waive("TTG005", ...)``.
+    """
+    ctx = LintContext(graph, nranks)
+    ignored = set(ignore)
+    out: List[Finding] = []
+    for rule_id, fn in _LINT_RULES:
+        if rule_id in ignored:
+            continue
+        out.extend(fn(ctx))
+    return [
+        f
+        for f in out
+        if f.rule.id not in ignored
+    ]
+
+
+def lint_ptg(ptg: Any, nranks: Optional[int] = None,
+             ignore: Iterable[str] = ()) -> List[Finding]:
+    """Lint a PTG front-end object (delegates to its compiled graph)."""
+    return lint_graph(ptg.graph, nranks=nranks, ignore=ignore)
+
+
+def _waived(tt: Any, rule_id: str) -> bool:
+    return rule_id in getattr(tt, "_lint_waivers", ())
+
+
+# ============================================================== wiring rules
+
+
+@lint_rule("TTG001")
+def _unfed_inputs(ctx: LintContext) -> Iterator[Finding]:
+    """Input terminals whose edge has no producer (seed-only)."""
+    for tt in ctx.graph.tts:
+        if _waived(tt, "TTG001"):
+            continue
+        for t in tt.inputs:
+            if not t.edge.producers:
+                yield ctx.finding(
+                    "TTG001", ctx.loc(tt, t),
+                    f"edge {t.edge.name!r} has no producer "
+                    "(must be fed via invoke/inject)",
+                )
+
+
+@lint_rule("TTG002")
+def _dangling_outputs(ctx: LintContext) -> Iterator[Finding]:
+    """Output terminals whose edge has no consumer (sends will fail)."""
+    for tt in ctx.graph.tts:
+        if _waived(tt, "TTG002"):
+            continue
+        for t in tt.outputs:
+            if not t.edge.consumers:
+                yield ctx.finding(
+                    "TTG002", ctx.loc(tt, t),
+                    f"edge {t.edge.name!r} has no consumer "
+                    "(sends on it will raise DeliveryError)",
+                )
+
+
+def _key_types_compatible(a: Any, b: Any) -> bool:
+    if a is Void or b is Void:
+        return a is b
+    try:
+        return issubclass(a, b) or issubclass(b, a)
+    except TypeError:
+        return True  # exotic type declarations: give the benefit of doubt
+
+
+@lint_rule("TTG003")
+def _key_type_conflicts(ctx: LintContext) -> Iterator[Finding]:
+    """Disjoint declared key types across one template's input edges.
+
+    Task instantiation matches messages by task ID: if one input edge
+    only ever carries ``int`` keys and another only ``str`` keys, no task
+    of this template can ever assemble -- a silent deadlock in C++ TTG
+    terms, a type error here.
+    """
+    for tt in ctx.graph.tts:
+        if _waived(tt, "TTG003"):
+            continue
+        declared = [
+            (t, t.edge.key_type) for t in tt.inputs if t.edge.key_type is not None
+        ]
+        for i in range(1, len(declared)):
+            t0, k0 = declared[i - 1]
+            t1, k1 = declared[i]
+            if not _key_types_compatible(k0, k1):
+                name0 = getattr(k0, "__name__", str(k0))
+                name1 = getattr(k1, "__name__", str(k1))
+                yield ctx.finding(
+                    "TTG003", ctx.loc(tt),
+                    f"input terminals {t0.name} ({t0.edge.name!r}: {name0}) and "
+                    f"{t1.name} ({t1.edge.name!r}: {name1}) declare incompatible "
+                    "key types: messages can never match to fire a task",
+                )
+
+
+@lint_rule("TTG004")
+def _unreachable_templates(ctx: LintContext) -> Iterator[Finding]:
+    """Templates no source template can reach through edges.
+
+    Sources are templates with no inputs (pure initiators), templates
+    with at least one producer-less input terminal (injectable), and
+    templates that waive this rule -- the waiver declares "I am seeded
+    externally", so everything downstream of a waived template counts as
+    reachable.  PTG graphs are exempt: the front-end wires every class to
+    every edge and feeds boundaries via inject by design.
+    """
+    if ctx.ptg is not None:
+        return
+    tts = ctx.graph.tts
+    sources = [
+        tt
+        for tt in tts
+        if tt.num_inputs == 0
+        or any(not t.edge.producers for t in tt.inputs)
+        or _waived(tt, "TTG004")
+    ]
+    reached: Set[int] = {tt.id for tt in sources}
+    frontier = list(sources)
+    while frontier:
+        tt = frontier.pop()
+        for t in tt.outputs:
+            for ctt, _ in t.edge.consumers:
+                if ctt.id not in reached:
+                    reached.add(ctt.id)
+                    frontier.append(ctt)
+    for tt in tts:
+        if tt.id not in reached and not _waived(tt, "TTG004"):
+            yield ctx.finding(
+                "TTG004", ctx.loc(tt),
+                "not reachable from any source template; it can only run "
+                "via direct invoke",
+            )
+
+
+def _template_sccs(tts: Tuple[Any, ...]) -> List[List[Any]]:
+    """Strongly connected components of the template digraph (Tarjan,
+    iterative).  Returns only components that contain a cycle."""
+    succ: Dict[int, List[Any]] = {}
+    by_id: Dict[int, Any] = {tt.id: tt for tt in tts}
+    for tt in tts:
+        outs = []
+        for t in tt.outputs:
+            for ctt, _ in t.edge.consumers:
+                if ctt.id in by_id:
+                    outs.append(ctt)
+        succ[tt.id] = outs
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[Any] = []
+    sccs: List[List[Any]] = []
+    counter = [0]
+
+    for root in tts:
+        if root.id in index:
+            continue
+        work = [(root, iter(succ[root.id]))]
+        index[root.id] = low[root.id] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root.id)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt.id not in index:
+                    index[nxt.id] = low[nxt.id] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt.id)
+                    work.append((nxt, iter(succ[nxt.id])))
+                    advanced = True
+                    break
+                if nxt.id in on_stack:
+                    low[node.id] = min(low[node.id], index[nxt.id])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent.id] = min(low[parent.id], low[node.id])
+            if low[node.id] == index[node.id]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w.id)
+                    comp.append(w)
+                    if w.id == node.id:
+                        break
+                has_self_loop = any(s.id == node.id for s in succ[node.id])
+                if len(comp) > 1 or has_self_loop:
+                    sccs.append(comp)
+    return sccs
+
+
+@lint_rule("TTG005")
+def _unbounded_stream_cycles(ctx: LintContext) -> Iterator[Finding]:
+    """Streaming terminals inside a cycle with no static stream size.
+
+    A stream fed from within its own cycle and bounded neither statically
+    nor (detectably) dynamically risks deadlock: the task never fires, so
+    the cycle never produces the messages that would close the stream.
+    """
+    if ctx.ptg is not None:
+        return  # PTG wires all-to-all; cycles are structural, not flows
+    for comp in _template_sccs(ctx.graph.tts):
+        members = {tt.id for tt in comp}
+        names = sorted(tt.name for tt in comp)
+        for tt in comp:
+            if _waived(tt, "TTG005"):
+                continue
+            for t in tt.inputs:
+                if not t.is_streaming or t.static_stream_size is not None:
+                    continue
+                fed_in_cycle = any(p.id in members for p, _ in t.edge.producers)
+                if fed_in_cycle:
+                    yield ctx.finding(
+                        "TTG005", ctx.loc(tt, t),
+                        f"streaming terminal with no static size is fed from "
+                        f"inside cycle {{{', '.join(names)}}}: deadlock unless "
+                        "set_size/finalize is called dynamically",
+                    )
+
+
+@lint_rule("TTG009")
+def _void_streams(ctx: LintContext) -> Iterator[Finding]:
+    """Streaming terminals reducing over a Void-valued edge."""
+    for tt in ctx.graph.tts:
+        if _waived(tt, "TTG009"):
+            continue
+        for t in tt.inputs:
+            if t.is_streaming and t.edge.value_type is Void:
+                yield ctx.finding(
+                    "TTG009", ctx.loc(tt, t),
+                    f"streaming terminal on Void-valued edge {t.edge.name!r}: "
+                    "the reducer folds None values",
+                )
+
+
+# ================================================================ map rules
+
+
+@lint_rule("TTG006")
+def _keymap_probe(ctx: LintContext) -> Iterator[Finding]:
+    """Probe user keymaps: range, return type, determinism.
+
+    A map may legitimately accept probe keys outside its real domain and
+    return garbage for them (e.g. an identity rank map handed a tuple,
+    or a ``key[0]`` map handed a string), so shape evidence is weighed:
+    non-int returns only count when the map never produced a valid int
+    rank for *any* accepted probe.  An out-of-range *int* return and
+    non-determinism are always findings.
+    """
+    nranks = ctx.nranks
+    for tt in ctx.graph.tts:
+        if tt._keymap is None or _waived(tt, "TTG006"):
+            continue  # default crc32 map is always valid
+        int_ok = False
+        nonint_return = None  # (key, value)
+        range_violation = None  # (key, rank)
+        finding = None
+        for key in ctx.probe_keys():
+            try:
+                rank = tt._keymap(key)
+            except Exception:
+                continue  # key shape outside this map's domain
+            if not isinstance(rank, int) or isinstance(rank, bool):
+                if nonint_return is None:
+                    nonint_return = (key, rank)
+                continue
+            try:
+                again = tt._keymap(key)
+            except Exception:
+                again = rank
+            if again != rank:
+                finding = ctx.finding(
+                    "TTG006", ctx.loc(tt),
+                    f"keymap is not a function of the task ID: "
+                    f"keymap({key!r}) gave {rank} then {again} "
+                    "(the key space would not partition across ranks)",
+                )
+                break
+            if nranks is not None and not (0 <= rank < nranks):
+                if range_violation is None:
+                    range_violation = (key, rank)
+                continue
+            int_ok = True
+        if finding is None and range_violation is not None:
+            key, rank = range_violation
+            finding = ctx.finding(
+                "TTG006", ctx.loc(tt),
+                f"keymap({key!r}) = {rank} out of range [0, {nranks})",
+            )
+        if finding is None and nonint_return is not None and not int_ok:
+            key, rank = nonint_return
+            finding = ctx.finding(
+                "TTG006", ctx.loc(tt),
+                f"keymap({key!r}) returned {rank!r} "
+                f"({type(rank).__name__}), not an int rank",
+            )
+        if finding is not None:
+            yield finding
+
+
+@lint_rule("TTG007")
+def _priomap_probe(ctx: LintContext) -> Iterator[Finding]:
+    """Probe priority maps: must return ints.
+
+    As with TTG006, a probe key outside the map's real domain may return
+    garbage; the finding fires only when the map never returned an int
+    for any accepted probe key.
+    """
+    for tt in ctx.graph.tts:
+        if tt._priomap is None or _waived(tt, "TTG007"):
+            continue
+        int_ok = False
+        nonint = None
+        for key in ctx.probe_keys():
+            try:
+                prio = tt._priomap(key)
+            except Exception:
+                continue
+            if isinstance(prio, int) and not isinstance(prio, bool):
+                int_ok = True
+            elif nonint is None:
+                nonint = (key, prio)
+        if nonint is not None and not int_ok:
+            key, prio = nonint
+            yield ctx.finding(
+                "TTG007", ctx.loc(tt),
+                f"priority map({key!r}) returned {prio!r} "
+                f"({type(prio).__name__}), not an int",
+            )
+
+
+# ================================================================ PTG rules
+
+
+@lint_rule("TTG008")
+def _ptg_undefined_refs(ctx: LintContext) -> Iterator[Finding]:
+    """Probe PTG flow destinations for undefined class/flow references."""
+    ptg = ctx.ptg
+    if ptg is None:
+        return
+    for cls in ptg.classes.values():
+        for flow in cls.flows:
+            seen: Set[str] = set()
+            for key in ctx.probe_keys():
+                try:
+                    dests = list(flow.dests(key))
+                except Exception:
+                    continue
+                for dest in dests:
+                    msg = _check_successor(ptg, dest)
+                    if msg and msg not in seen:
+                        seen.add(msg)
+                        yield ctx.finding(
+                            "TTG008", f"ptg/{cls.name}.{flow.name}", msg
+                        )
+
+
+def _check_successor(ptg: Any, dest: Any) -> Optional[str]:
+    if not (isinstance(dest, tuple) and len(dest) == 3):
+        return f"destination {dest!r} is not a (class, key, flow) triple"
+    dcls, _, dflow = dest
+    if dcls not in ptg.classes:
+        return f"references unknown task class {dcls!r}"
+    if all(f.name != dflow for f in ptg.classes[dcls].flows):
+        return f"references unknown flow {dcls}.{dflow!r}"
+    return None
+
+
+@lint_rule("TTG010")
+def _ptg_bad_modes(ctx: LintContext) -> Iterator[Finding]:
+    """PTG flows with invalid copy-semantics modes."""
+    ptg = ctx.ptg
+    if ptg is None:
+        return
+    from repro.core.messaging import MODES
+
+    for cls in ptg.classes.values():
+        for flow in cls.flows:
+            if flow.mode not in MODES:
+                yield ctx.finding(
+                    "TTG010", f"ptg/{cls.name}.{flow.name}",
+                    f"copy mode {flow.mode!r} is invalid; valid modes: {MODES}",
+                )

@@ -175,6 +175,10 @@ def build_mra_graph(
         cost=lambda key, _c: proj_flops,
         output_names=["refine", "leafup"],
     )
+    # PROJECT is seeded by direct invoke at the root boxes (no initiator
+    # template); waiving source-reachability here makes the downstream
+    # compress/reconstruct/output templates reachable for the linter.
+    project.lint_waive("TTG004")
     compress = ttg.make_tt(
         compress_body,
         [compress_in],

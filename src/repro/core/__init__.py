@@ -23,6 +23,7 @@ from repro.core.exceptions import (
     TypeMismatchError,
     DeliveryError,
     StreamError,
+    SanitizerError,
 )
 from repro.core.graph import TaskGraph, Executable
 from repro.core.keymap import (
@@ -55,6 +56,7 @@ __all__ = [
     "TypeMismatchError",
     "DeliveryError",
     "StreamError",
+    "SanitizerError",
     "TaskGraph",
     "Executable",
     "hash_keymap",

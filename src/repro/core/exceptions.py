@@ -1,10 +1,30 @@
-"""TTG error hierarchy."""
+"""TTG error hierarchy.
+
+Every error may carry the id of the analysis rule that describes it (see
+``docs/analysis.md``); ``GraphConstructionError`` raised by strict-mode
+linting always does.
+"""
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class TTGError(Exception):
-    """Base class for all TTG-layer errors."""
+    """Base class for all TTG-layer errors.
+
+    Parameters
+    ----------
+    message:
+        Human-readable diagnostic.
+    rule:
+        Optional id of the :mod:`repro.analysis` rule this error
+        instantiates (e.g. ``"TTG006"``, ``"SAN001"``).
+    """
+
+    def __init__(self, message: str = "", rule: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.rule = rule
 
 
 class GraphConstructionError(TTGError):
@@ -21,3 +41,7 @@ class DeliveryError(TTGError):
 
 class StreamError(TTGError):
     """Streaming-terminal misuse (size conflict, finalize-after-ready...)."""
+
+
+class SanitizerError(TTGError):
+    """A runtime fault detected by TTG-San in strict mode."""

@@ -15,8 +15,9 @@ keymap with the priority given by its priority map.
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.edge import Edge
 from repro.core.exceptions import (
@@ -30,6 +31,25 @@ from repro.core.terminals import OutputTerminal
 from repro.runtime.base import Backend
 
 _EMPTY = object()
+
+# Construction observers: callables ``fn(kind, obj)`` invoked whenever a
+# TaskGraph ("graph") or Executable ("executable") is created.  The
+# analysis CLI uses this to discover every graph a script builds without
+# the script cooperating; see repro.analysis.cli.
+_CONSTRUCTION_OBSERVERS: List[Callable[[str, Any], None]] = []
+
+
+def add_construction_observer(fn: Callable[[str, Any], None]) -> None:
+    _CONSTRUCTION_OBSERVERS.append(fn)
+
+
+def remove_construction_observer(fn: Callable[[str, Any], None]) -> None:
+    _CONSTRUCTION_OBSERVERS.remove(fn)
+
+
+def _notify_observers(kind: str, obj: Any) -> None:
+    for fn in list(_CONSTRUCTION_OBSERVERS):
+        fn(kind, obj)
 
 
 class TaskGraph:
@@ -45,6 +65,7 @@ class TaskGraph:
             seen.add(tt.id)
         self.tts: Tuple[TemplateTask, ...] = tuple(tts)
         self.name = name
+        _notify_observers("graph", self)
 
     def edges(self) -> List[Edge]:
         """All distinct edges touched by this graph's terminals."""
@@ -54,24 +75,16 @@ class TaskGraph:
                 out[t.edge.id] = t.edge
         return list(out.values())
 
-    def validate(self) -> List[str]:
-        """Non-fatal wiring diagnostics (inputs without producers are legal
-        -- they are ``invoke`` seeds -- but worth surfacing)."""
-        issues = []
-        for tt in self.tts:
-            for t in tt.inputs:
-                if not t.edge.producers:
-                    issues.append(
-                        f"{tt.name}.{t.name}: edge {t.edge.name!r} has no producer "
-                        "(must be fed via invoke)"
-                    )
-            for t in tt.outputs:
-                if not t.edge.consumers:
-                    issues.append(
-                        f"{tt.name}.{t.name}: edge {t.edge.name!r} has no consumer "
-                        "(sends on it will fail)"
-                    )
-        return issues
+    def validate(self, nranks: Optional[int] = None) -> List[str]:
+        """Wiring diagnostics as human-readable strings.
+
+        Thin wrapper over the :mod:`repro.analysis` linter (the single
+        source of truth for graph diagnostics); each string starts with
+        the rule id, e.g. ``"TTG001 [info] g/T.in0: edge 'unfed' ..."``.
+        """
+        from repro.analysis.lint import lint_graph
+
+        return [str(f) for f in lint_graph(self, nranks=nranks)]
 
     def to_dot(self) -> str:
         """Graphviz rendering of the template graph (for docs/examples)."""
@@ -86,9 +99,16 @@ class TaskGraph:
         lines.append("}")
         return "\n".join(lines)
 
-    def executable(self, backend: Backend) -> "Executable":
-        """Bind this template graph to a backend (make_graph_executable)."""
-        return Executable(self, backend)
+    def executable(
+        self, backend: Backend, *, strict: bool = False, sanitize: bool = False
+    ) -> "Executable":
+        """Bind this template graph to a backend (make_graph_executable).
+
+        ``strict=True`` raises on any error-severity lint finding and
+        arms the runtime sanitizer in raising mode; ``sanitize=True``
+        arms the sanitizer in collect-and-warn mode.
+        """
+        return Executable(self, backend, strict=strict, sanitize=sanitize)
 
 
 class _Pending:
@@ -106,15 +126,69 @@ class _Pending:
 
 
 class Executable:
-    """A TaskGraph bound to a backend: delivery, instantiation, execution."""
+    """A TaskGraph bound to a backend: delivery, instantiation, execution.
 
-    def __init__(self, graph: TaskGraph, backend: Backend) -> None:
+    Construction lints the graph (see :mod:`repro.analysis`): in strict
+    mode any error-severity finding raises :class:`GraphConstructionError`
+    carrying the rule id; by default errors are emitted as warnings and
+    execution proceeds (preserving historical behaviour).  All findings
+    are kept on :attr:`findings`.  ``strict``/``sanitize`` also arm the
+    runtime sanitizer (:class:`repro.analysis.sanitizer.Sanitizer`),
+    exposed as :attr:`sanitizer`.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        backend: Backend,
+        *,
+        strict: bool = False,
+        sanitize: bool = False,
+    ) -> None:
         self.graph = graph
         self.backend = backend
         self.nranks = backend.nranks
         self._pending: Dict[Tuple[int, Any], _Pending] = {}
         self.task_counts: Counter = Counter()
         self._tt_ids = {tt.id for tt in graph.tts}
+        self.strict = strict
+        self.sanitizer = None
+        if strict or sanitize:
+            from repro.analysis.sanitizer import Sanitizer
+
+            self.sanitizer = Sanitizer(self, strict=strict)
+            backend.sanitizer = self.sanitizer
+        from repro.analysis.lint import lint_graph
+
+        self.findings = lint_graph(graph, nranks=backend.nranks)
+        errors = [f for f in self.findings if f.rule.severity == "error"]
+        if errors:
+            if strict:
+                raise GraphConstructionError(
+                    f"strict lint failed with {len(errors)} error(s): "
+                    + "; ".join(str(f) for f in errors),
+                    rule=errors[0].rule.id,
+                )
+            for f in errors:
+                warnings.warn(f"TTG lint: {f}", RuntimeWarning, stacklevel=3)
+        _notify_observers("executable", self)
+
+    @classmethod
+    def make(
+        cls,
+        graph: TaskGraph,
+        backend: Backend,
+        *,
+        strict: bool = False,
+        sanitize: bool = False,
+    ) -> "Executable":
+        """Bind ``graph`` to ``backend`` (``make_graph_executable``).
+
+        ``Executable.make(graph, backend, strict=True)`` is the verified
+        entry point: the linter raises on error findings and the runtime
+        sanitizer raises at the first detected fault.
+        """
+        return cls(graph, backend, strict=strict, sanitize=sanitize)
 
     # ------------------------------------------------------------- seeding
 
@@ -139,11 +213,17 @@ class Executable:
         matching, so the task still waits for its other inputs."""
         self._check_tt(tt)
         term = tt.in_terminal(which)
+        if self.sanitizer is not None:
+            self.sanitizer.on_route(tt, term.index, key, value, "value",
+                                    provenance="<inject>")
         self.backend.post_local(self._deliver, tt, term.index, key, value)
 
     def fence(self, max_events: Optional[int] = None) -> float:
         """Drain all tasks and messages; returns the makespan."""
-        return self.backend.run(max_events=max_events)
+        makespan = self.backend.run(max_events=max_events)
+        if self.sanitizer is not None and max_events is None:
+            self.sanitizer.on_shutdown()
+        return makespan
 
     # ------------------------------------------------------------ delivery
 
@@ -170,6 +250,8 @@ class Executable:
             )
         backend = self.backend
         for ctt, cidx in edge.consumers:
+            if self.sanitizer is not None:
+                self.sanitizer.on_route(ctt, cidx, key, value, mode)
             dst = ctt.keymap(key, self.nranks)
             if dst == src_rank:
                 backend.stats.local_deliveries += 1
@@ -217,6 +299,8 @@ class Executable:
             for k in keys:
                 edge.check_key(k)
                 for ctt, cidx in edge.consumers:
+                    if self.sanitizer is not None:
+                        self.sanitizer.on_route(ctt, cidx, k, value, mode)
                     dst = ctt.keymap(k, self.nranks)
                     per_rank.setdefault(dst, []).append((ctt, cidx, k))
         for dst in sorted(per_rank):
@@ -245,6 +329,8 @@ class Executable:
 
     def _deliver(self, tt: TemplateTask, idx: int, key: Any, value: Any) -> None:
         """Terminal logic at the owner rank: accumulate, fire when ready."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_deliver(tt, idx, key, value)
         pkey = (tt.id, key)
         p = self._pending.get(pkey)
         if p is None:
@@ -282,12 +368,14 @@ class Executable:
         self._spawn(tt, key, args, rank)
 
     def _spawn(self, tt: TemplateTask, key: Any, args: List[Any], rank: int) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_spawn(tt, key, args)
         flops, bytes_moved = tt.cost(key, args)
         self.task_counts[tt.name] += 1
         ex = self
 
         def _run_body() -> None:
-            outs = TaskOutputs(ex, tt, rank)
+            outs = TaskOutputs(ex, tt, rank, key)
             _push_outputs(outs)
             try:
                 tt.fn(key, *args, outs)
@@ -317,6 +405,8 @@ class Executable:
             raise StreamError(f"{tt.name}.{term.name} is not a streaming terminal")
         if size < 0:
             raise StreamError("stream size must be >= 0")
+        if self.sanitizer is not None:
+            self.sanitizer.on_stream_control(tt, term, key, "set_argstream_size")
         pkey = (tt.id, key)
         p = self._pending.get(pkey)
         if p is None:
@@ -341,6 +431,8 @@ class Executable:
         term = tt.in_terminal(which)
         if not term.is_streaming:
             raise StreamError(f"{tt.name}.{term.name} is not a streaming terminal")
+        if self.sanitizer is not None:
+            self.sanitizer.on_stream_control(tt, term, key, "finalize")
         pkey = (tt.id, key)
         p = self._pending.get(pkey)
         if p is None:

@@ -32,17 +32,23 @@ MODES = ("value", "cref", "move")
 class TaskOutputs:
     """Handle to a task's output terminals, bound to the executing rank."""
 
-    __slots__ = ("_ex", "_tt", "_rank")
+    __slots__ = ("_ex", "_tt", "_rank", "_key")
 
-    def __init__(self, ex: Any, tt: Any, rank: int) -> None:
+    def __init__(self, ex: Any, tt: Any, rank: int, key: Any = None) -> None:
         self._ex = ex
         self._tt = tt
         self._rank = rank
+        self._key = key
 
     @property
     def rank(self) -> int:
         """Rank executing the current task."""
         return self._rank
+
+    @property
+    def key(self) -> Any:
+        """Task ID of the current task (its own key)."""
+        return self._key
 
     @property
     def nranks(self) -> int:
@@ -139,6 +145,15 @@ def _push_outputs(outs: TaskOutputs) -> None:
 
 def _pop_outputs() -> None:
     _CURRENT.pop()
+
+
+def current_task_label() -> str:
+    """``"NAME[key]"`` of the executing task, or ``"<external>"`` when no
+    task body is on the stack (used by TTG-San provenance reporting)."""
+    if not _CURRENT:
+        return "<external>"
+    outs = _CURRENT[-1]
+    return f"{outs._tt.name}[{outs._key!r}]"
 
 
 def send(

@@ -110,6 +110,10 @@ class PTG:
         for c in classes:
             self.templates[c.name] = self._compile(c)
         self.graph = TaskGraph(list(self.templates.values()), name="ptg")
+        # Mark the compiled graph so the linter applies PTG-specific rules
+        # (TTG008/TTG010) and skips structural ones the all-to-all wiring
+        # would trip (TTG004/TTG005).
+        self.graph._ptg = self
 
     def _validate_dests_static(self) -> None:
         # Destinations are functions of keys, so full validation is dynamic;

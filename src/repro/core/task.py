@@ -55,6 +55,7 @@ class TemplateTask:
         self._priomap = priomap
         self._cost = cost
         self._devicemap: Optional[Callable[[Any], str]] = None
+        self._lint_waivers: frozenset = frozenset()
 
     # ------------------------------------------------------------- plumbing
 
@@ -101,6 +102,14 @@ class TemplateTask:
             self._devicemap = devicemap
         return self
 
+    def lint_waive(self, *rule_ids: str) -> "TemplateTask":
+        """Suppress specific :mod:`repro.analysis` lint rules on this
+        template -- the explicit, reviewable acknowledgment that a pattern
+        the linter flags (e.g. a dynamically-sized streaming feedback
+        loop, rule TTG005) is intended."""
+        self._lint_waivers = self._lint_waivers | frozenset(rule_ids)
+        return self
+
     def set_input_reducer(
         self,
         which: Union[int, str],
@@ -123,7 +132,8 @@ class TemplateTask:
         rank = self._keymap(key)
         if not (0 <= rank < nranks):
             raise GraphConstructionError(
-                f"{self.name} keymap({key!r}) = {rank} out of range [0, {nranks})"
+                f"{self.name} keymap({key!r}) = {rank} out of range [0, {nranks})",
+                rule="TTG006",
             )
         return rank
 

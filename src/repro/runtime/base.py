@@ -235,6 +235,9 @@ class Backend:
         self.config = config or BackendConfig()
         self.tracer = tracer
         self.stats = RunStats()
+        # TTG-San hook point: armed by Executable(strict/sanitize), see
+        # repro.analysis.sanitizer.  None => zero-overhead default path.
+        self.sanitizer = None
         self.termination = TerminationDetector()
         base_am = cluster.machine.network.am_overhead
         per_byte = self.config.am_cost_per_byte
@@ -431,6 +434,10 @@ class Backend:
         """
         need_copy = mode == "value" or (mode == "cref" and self.config.copy_on_cref)
         if not need_copy:
+            if self.sanitizer is not None and mode == "cref":
+                # The runtime now shares this object with a consumer; any
+                # later mutation by the sender is a write-after-share race.
+                self.sanitizer.on_cref_share(value)
             return value, 0.0
         nbytes = int(getattr(value, "nbytes", 0) or 0)
         delay = 0.0
@@ -452,6 +459,8 @@ class Backend:
         """
         self.engine.run(max_events=max_events)
         self.termination.validate()
+        if self.sanitizer is not None and max_events is None:
+            self.sanitizer.on_backend_drain(self)
         if max_events is None and self.rma.live_handles():
             from repro.comm.rma import RmaError
 

@@ -1,0 +1,162 @@
+"""Tests for the ``python -m repro.analysis`` CLI."""
+
+import io
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis.cli import lint_file, main, parse_waivers
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES = os.path.join(ROOT, "examples")
+
+FAST_EXAMPLES = ["quickstart.py", "sending_modes.py", "ptg_wavefront.py",
+                 "spmd_pingpong.py"]
+
+
+def run_cli(args):
+    out = io.StringIO()
+    code = main(args, stream=out)
+    return code, out.getvalue()
+
+
+# ----------------------------------------------------------------- examples
+
+
+@pytest.mark.parametrize("example", FAST_EXAMPLES)
+def test_examples_lint_clean(example):
+    code, out = run_cli([os.path.join(EXAMPLES, example)])
+    assert code == 0, out
+    assert "FAIL" not in out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_quickstart_report_shape():
+    code, out = run_cli([os.path.join(EXAMPLES, "quickstart.py")])
+    assert code == 0
+    assert out.startswith("== repro.analysis ==")
+    assert "graphs: 1 (quickstart(nranks=4))" in out
+
+
+def test_module_entry_point():
+    env = dict(os.environ, PYTHONPATH=os.path.join(ROOT, "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis",
+         os.path.join(EXAMPLES, "quickstart.py")],
+        capture_output=True, text=True, env=env, cwd=ROOT, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "ok: 0 error(s)" in proc.stdout
+
+
+# ------------------------------------------------------------- broken scripts
+
+
+BROKEN = textwrap.dedent(
+    """
+    from repro import core as ttg
+
+    ei = ttg.Edge("ik", key_type=int)
+    es = ttg.Edge("sk", key_type=str)
+    noop = lambda key, *a: None
+    a = ttg.make_tt(noop, [], [ei], name="A")
+    b = ttg.make_tt(noop, [], [es], name="B")
+    c = ttg.make_tt(noop, [ei, es], [], name="C")
+    g = ttg.TaskGraph([a, b, c], name="broken")
+    """
+)
+
+
+def test_broken_graph_fails_with_rule_id(tmp_path):
+    script = tmp_path / "broken.py"
+    script.write_text(BROKEN)
+    code, out = run_cli([str(script)])
+    assert code == 1
+    assert "TTG003" in out
+    assert "FAIL" in out
+    assert "hint:" in out
+
+
+def test_warning_only_passes_unless_strict(tmp_path):
+    script = tmp_path / "dangle.py"
+    script.write_text(textwrap.dedent(
+        """
+        from repro import core as ttg
+        e = ttg.Edge("dangling", key_type=int)
+        src = ttg.make_tt(lambda key, outs: None, [], [e], name="SRC")
+        g = ttg.TaskGraph([src])
+        """
+    ))
+    code, out = run_cli([str(script)])
+    assert code == 0
+    assert "TTG002" in out
+    code, _ = run_cli(["--strict", str(script)])
+    assert code == 1
+
+
+def test_waiver_comment_suppresses_rule(tmp_path):
+    script = tmp_path / "waived.py"
+    script.write_text(BROKEN + "\n# ttg-lint: disable=TTG003\n")
+    code, out = run_cli([str(script)])
+    assert code == 0, out
+    assert "waived: TTG003" in out
+    assert "0 error(s)" in out
+
+
+def test_crashing_script_fails(tmp_path):
+    script = tmp_path / "crash.py"
+    script.write_text("raise RuntimeError('boom')\n")
+    code, out = run_cli([str(script)])
+    assert code == 1
+    assert "script failed to run" in out
+    assert "boom" in out
+
+
+def test_missing_file_fails():
+    code, out = run_cli(["/no/such/file.py"])
+    assert code == 1
+    assert "cannot read" in out
+
+
+# ------------------------------------------------------------------ plumbing
+
+
+def test_parse_waivers():
+    src = "# ttg-lint: disable=TTG001\nx = 1  # ttg-lint: disable=TTG004, TTG005\n"
+    assert parse_waivers(src) == ("TTG001", "TTG004", "TTG005")
+    assert parse_waivers("x = 1\n") == ()
+
+
+def test_lint_file_records_bound_nranks(tmp_path):
+    script = tmp_path / "bound.py"
+    script.write_text(textwrap.dedent(
+        """
+        from repro import core as ttg
+        from repro.runtime import ParsecBackend
+        from repro.sim import Cluster, HAWK
+        e = ttg.Edge("ab", key_type=int, value_type=int)
+        a = ttg.make_tt(lambda key, outs: None, [], [e], name="A")
+        b = ttg.make_tt(lambda key, v, outs: None, [e], [], name="B")
+        g = ttg.TaskGraph([a, b], name="bound")
+        ex = g.executable(ParsecBackend(Cluster(HAWK, 8)))
+        """
+    ))
+    report = lint_file(str(script))
+    assert report.crash is None
+    assert len(report.graphs) == 1
+    assert list(report.nranks.values()) == [8]
+    assert report.findings == []
+
+
+def test_script_stdout_is_captured_not_leaked(tmp_path, capsys):
+    script = tmp_path / "noisy.py"
+    script.write_text("print('SCRIPT NOISE')\n")
+    code, out = run_cli([str(script)])
+    assert code == 0
+    assert "SCRIPT NOISE" not in out
+    assert "SCRIPT NOISE" not in capsys.readouterr().out
+    code, out = run_cli(["--verbose", str(script)])
+    assert "SCRIPT NOISE" in out

@@ -6,8 +6,6 @@ import numpy as np
 import pytest
 
 from repro.apps.mra import (
-    CompressedTree,
-    FunctionTree,
     Gaussian,
     GaussianSum,
     Multiwavelet,

@@ -4,7 +4,6 @@ The full figure runs live in benchmarks/; these exercise the same code
 paths in seconds so `pytest tests/` alone covers the harness.
 """
 
-import pytest
 
 from repro.bench import figures
 

@@ -1,6 +1,5 @@
 """Tests for the spy plot and the RMA data-life-cycle leak check."""
 
-import numpy as np
 import pytest
 
 from repro.comm.rma import RmaError

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import core as ttg
 from repro.core.edge import Edge, Void, edges
 from repro.core.exceptions import (
     GraphConstructionError,

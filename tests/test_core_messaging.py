@@ -4,7 +4,7 @@ import pytest
 
 from repro import core as ttg
 from repro.core.exceptions import DeliveryError
-from repro.core.messaging import MODES, TaskOutputs, current_outputs
+from repro.core.messaging import MODES, current_outputs
 from repro.runtime import ParsecBackend
 from repro.sim.cluster import Cluster, HAWK
 
@@ -147,7 +147,6 @@ def test_broadcast_empty_keys_is_noop():
 def test_value_mode_isolates_sender_mutation():
     e = ttg.Edge("iso")
     from repro.linalg.tile import MatrixTile
-    import numpy as np
 
     received = []
 

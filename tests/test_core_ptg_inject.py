@@ -8,7 +8,6 @@ from repro.core.exceptions import GraphConstructionError
 from repro.core.inject import make_initiator, make_matrix_initiator, seed_initiator
 from repro.core.ptg import PTG, Flow, TaskClass
 from repro.linalg import BlockCyclicDistribution, TiledMatrix
-from repro.linalg.tile import MatrixTile
 from repro.runtime import ParsecBackend
 from repro.sim.cluster import Cluster, HAWK
 

@@ -1,6 +1,5 @@
 """Tests for the Gantt SVG export and the bench CLI."""
 
-import numpy as np
 import pytest
 
 from repro.apps.floydwarshall import floyd_warshall_ttg

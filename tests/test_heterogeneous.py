@@ -10,7 +10,6 @@ import pytest
 from dataclasses import replace
 
 from repro import core as ttg
-from repro.apps.cholesky import cholesky_ttg
 from repro.linalg import BlockCyclicDistribution, TiledMatrix, spd_matrix
 from repro.runtime import ParsecBackend
 from repro.sim.cluster import Cluster, HAWK, MachineSpec

@@ -10,7 +10,6 @@ rank count.
 
 from typing import Dict, List, Tuple
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for the profiling module (and tracer integration with real runs)."""
 
-import numpy as np
 import pytest
 
 from repro.apps.cholesky import cholesky_ttg

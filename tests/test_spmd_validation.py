@@ -1,12 +1,10 @@
 """Executable-vs-analytic validation of the fork-join Cholesky model, plus
 property tests on the SPMD layer and network invariants."""
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.baselines import scalapack_cholesky, slate_cholesky
+from repro.baselines import slate_cholesky
 from repro.linalg.kernels import effective_flops, gemm_flops, potrf_flops, trsm_flops
 from repro.sim.cluster import Cluster, HAWK
 from repro.sim.engine import Engine
