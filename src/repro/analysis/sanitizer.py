@@ -82,6 +82,13 @@ class Sanitizer:
     def record(self, rule_id: str, location: str, message: str) -> Finding:
         f = Finding(get_rule(rule_id), message, location=location)
         self.findings.append(f)
+        tel = getattr(self.ex.backend, "telemetry", None)
+        if tel is not None:
+            from repro.telemetry.events import TID_SAN
+
+            tel.bus.instant(rule_id, 0, TID_SAN, cat="san",
+                            location=location, message=message)
+            tel.metrics.counter("san_findings", rule=rule_id).inc()
         if self.strict:
             raise SanitizerError(str(f), rule=rule_id)
         warnings.warn(f"TTG-San: {f}", RuntimeWarning, stacklevel=3)

@@ -16,7 +16,7 @@ import sys
 from typing import Callable, Dict, Optional
 
 from repro.bench import figures
-from repro.bench.harness import print_series, print_table
+from repro.bench.harness import print_series, print_table, write_telemetry_counters
 from repro.bench.plot import print_chart
 
 _FIGS: Dict[str, Callable] = {
@@ -73,14 +73,34 @@ def main(argv=None) -> int:
         "--max-nodes", type=int, default=None,
         help="override the node-count range (fig6: the fixed node count)",
     )
+    parser.add_argument(
+        "--telemetry", metavar="COUNTERS.json", default=None,
+        help="capture telemetry counters (metrics only) across every "
+        "backend the experiment binds and write the merged counters JSON",
+    )
     args = parser.parse_args(argv)
-    if args.experiment in ("table1", "all"):
-        run_table1()
-    if args.experiment == "all":
-        for name in sorted(_FIGS):
-            run_figure(name, args.max_nodes)
-    elif args.experiment != "table1":
-        run_figure(args.experiment, args.max_nodes)
+
+    def run_all() -> None:
+        if args.experiment in ("table1", "all"):
+            run_table1()
+        if args.experiment == "all":
+            for name in sorted(_FIGS):
+                run_figure(name, args.max_nodes)
+        elif args.experiment != "table1":
+            run_figure(args.experiment, args.max_nodes)
+
+    if args.telemetry is not None:
+        from repro.telemetry.adapter import capture
+
+        with capture(events=False) as runs:
+            run_all()
+        n = write_telemetry_counters(
+            args.telemetry, runs, meta={"experiment": args.experiment}
+        )
+        print(f"\nwrote {args.telemetry} ({n} metric series, "
+              f"{len(runs)} backend run(s))")
+    else:
+        run_all()
     return 0
 
 

@@ -3,12 +3,18 @@
 Every figure benchmark produces :class:`Series` objects -- named sequences
 of (x, y) points -- and prints them in the same rows/columns layout the
 paper reports, so a bench run's stdout *is* the regenerated figure data.
+
+:func:`write_telemetry_counters` is the bench side of the telemetry
+integration: ``python -m repro.bench <fig> --telemetry counters.json``
+captures every backend the figure binds (metrics only, no event buffers)
+and writes the merged counters JSON next to the printed rows, so a figure
+regression can be diagnosed by ``python -m repro.telemetry compare``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -49,6 +55,26 @@ def geometric_nodes(max_nodes: int, start: int = 1) -> List[int]:
         out.append(n)
         n *= 2
     return out
+
+
+def write_telemetry_counters(
+    path: str, runs: Sequence[Any], meta: Optional[Dict[str, Any]] = None
+) -> int:
+    """Merge the metric registries of captured runs into one counters JSON.
+
+    ``runs`` is the list yielded by :func:`repro.telemetry.adapter.capture`;
+    returns the number of metric series written.
+    """
+    from repro.telemetry.events import Telemetry
+    from repro.telemetry.export import write_counters_json
+
+    merged = Telemetry(events=False)
+    full_meta = dict(meta or {})
+    full_meta["runs"] = [run.label for run in runs]
+    for run in runs:
+        merged.metrics.merge(run.telemetry.metrics)
+    write_counters_json(path, merged, meta=full_meta)
+    return len(merged.metrics)
 
 
 def print_table(title: str, columns: Sequence[str], rows: Iterable[Sequence]) -> None:

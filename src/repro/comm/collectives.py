@@ -50,6 +50,13 @@ class Collectives:
         """Release ``on_release`` once all ``ranks`` have reached the barrier
         (dissemination cost charged once)."""
         delay = self.barrier_duration(len(ranks))
+        tel = self.comm.telemetry
+        if tel is not None:
+            from repro.telemetry.events import TID_RT
+
+            tel.bus.instant("barrier", min(ranks, default=0), TID_RT,
+                            cat="coll", nranks=len(ranks), duration=delay)
+            tel.metrics.counter("collectives", op="barrier").inc()
         self.engine.schedule(delay, on_release)
 
     def bcast(
@@ -80,5 +87,15 @@ class Collectives:
                 new_frontier.append(dst)
             frontier += new_frontier
         t_hop = self.network.transfer_time(nbytes)
+        tel = self.comm.telemetry
+        if tel is not None:
+            from repro.telemetry.events import TID_RT
+
+            tel.bus.instant("bcast", root, TID_RT, cat="coll",
+                            nranks=len(ranks), nbytes=nbytes,
+                            stages=order[-1][1] if order else 0)
+            tel.metrics.counter("collectives", op="bcast").inc()
+            tel.metrics.counter("collective_bytes", op="bcast").inc(
+                nbytes * len(order))
         for dst, s in order:
             self.engine.schedule(s * t_hop, deliver, dst)

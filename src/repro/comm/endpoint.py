@@ -14,6 +14,7 @@ from typing import Any, Callable, Optional
 
 from repro.sim.cluster import Cluster
 from repro.sim.trace import Tracer
+from repro.telemetry.events import TID_AM, TID_RMA
 
 
 class CommEngine:
@@ -41,6 +42,8 @@ class CommEngine:
         self.engine = cluster.engine
         self.network = cluster.network
         self.tracer = tracer
+        # Set by Backend.attach_telemetry; None => hooks are one branch.
+        self.telemetry = None
         base = cluster.machine.network.am_overhead
         self._am_cost_fn = am_cost_fn or (lambda dst, nbytes: base)
         self._am_free = [0.0] * cluster.nranks
@@ -80,6 +83,15 @@ class CommEngine:
         self._am_free[dst] = done
         if self.tracer is not None:
             self.tracer.record_message(src, dst, nbytes, t_sent, done, tag=tag)
+        tel = self.telemetry
+        if tel is not None:
+            tel.bus.complete(
+                f"am:{tag or 'am'}", dst, TID_AM, t_sent, done, cat="comm",
+                args={"src": src, "nbytes": nbytes},
+            )
+            tel.metrics.counter("am", dst=dst).inc()
+            tel.metrics.counter("am_bytes", dst=dst).inc(nbytes)
+            tel.metrics.histogram("am_latency", dst=dst).observe(done - t_sent)
         self.engine.schedule_at(done, handler, *args)
 
     # ------------------------------------------------------------------ RMA
@@ -104,4 +116,12 @@ class CommEngine:
         self.rma_bytes += nbytes
         if self.tracer is not None:
             self.tracer.record_message(target, origin, nbytes, t0, done, tag=tag)
+        tel = self.telemetry
+        if tel is not None:
+            tel.bus.complete(
+                f"rma:{tag}", origin, TID_RMA, t0, done, cat="comm",
+                args={"src": target, "nbytes": nbytes},
+            )
+            tel.metrics.counter("rma_gets", origin=origin).inc()
+            tel.metrics.counter("rma_get_bytes", origin=origin).inc(nbytes)
         self.engine.schedule_at(done, on_complete, *args)

@@ -25,10 +25,16 @@ from repro.core.exceptions import (
     GraphConstructionError,
     StreamError,
 )
-from repro.core.messaging import TaskOutputs, _pop_outputs, _push_outputs
+from repro.core.messaging import (
+    TaskOutputs,
+    _pop_outputs,
+    _push_outputs,
+    current_task_label,
+)
 from repro.core.task import TemplateTask
 from repro.core.terminals import OutputTerminal
 from repro.runtime.base import Backend
+from repro.telemetry.events import TID_RT
 
 _EMPTY = object()
 
@@ -216,6 +222,12 @@ class Executable:
         if self.sanitizer is not None:
             self.sanitizer.on_route(tt, term.index, key, value, "value",
                                     provenance="<inject>")
+        tel = self.backend.telemetry
+        if tel is not None and tel.bus.enabled:
+            tel.bus.instant(
+                "dep", 0, TID_RT, cat="dep", src="<external>",
+                dst=f"{tt.name}[{key!r}]", edge=term.edge.name,
+            )
         self.backend.post_local(self._deliver, tt, term.index, key, value)
 
     def fence(self, max_events: Optional[int] = None) -> float:
@@ -249,9 +261,16 @@ class Executable:
                 f"{edge.name!r} has no consumers"
             )
         backend = self.backend
+        tel = backend.telemetry
         for ctt, cidx in edge.consumers:
             if self.sanitizer is not None:
                 self.sanitizer.on_route(ctt, cidx, key, value, mode)
+            if tel is not None and tel.bus.enabled:
+                tel.bus.instant(
+                    "dep", src_rank, TID_RT, cat="dep",
+                    src=current_task_label(), dst=f"{ctt.name}[{key!r}]",
+                    edge=edge.name,
+                )
             dst = ctt.keymap(key, self.nranks)
             if dst == src_rank:
                 backend.stats.local_deliveries += 1
@@ -281,7 +300,10 @@ class Executable:
         covering all (terminal, key) targets; 'naive' config degrades to
         per-key sends (the pre-optimization behaviour, for ablations)."""
         backend = self.backend
+        tel = backend.telemetry
         backend.stats.broadcasts += 1
+        if tel is not None:
+            tel.metrics.counter("broadcasts", mode=backend.config.broadcast).inc()
         if backend.config.broadcast == "naive":
             for term, keys in spec:
                 for k in keys:
@@ -301,6 +323,12 @@ class Executable:
                 for ctt, cidx in edge.consumers:
                     if self.sanitizer is not None:
                         self.sanitizer.on_route(ctt, cidx, k, value, mode)
+                    if tel is not None and tel.bus.enabled:
+                        tel.bus.instant(
+                            "dep", src_rank, TID_RT, cat="dep",
+                            src=current_task_label(),
+                            dst=f"{ctt.name}[{k!r}]", edge=edge.name,
+                        )
                     dst = ctt.keymap(k, self.nranks)
                     per_rank.setdefault(dst, []).append((ctt, cidx, k))
         for dst in sorted(per_rank):
@@ -342,6 +370,11 @@ class Executable:
             else:
                 p.slots[idx] = term.reducer(p.slots[idx], value)
             p.counts[idx] += 1
+            tel = self.backend.telemetry
+            if tel is not None:
+                tel.metrics.counter(
+                    "stream_items", template=tt.name, terminal=term.name
+                ).inc()
             exp = p.expected[idx]
             if exp is not None and p.counts[idx] > exp:
                 raise StreamError(

@@ -16,17 +16,18 @@ communication and computation in a distributed setting.  The TTG core layer
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.comm.endpoint import CommEngine
 from repro.comm.rma import RmaWindow
-from repro.runtime.scheduler import get_scheduler
+from repro.runtime.scheduler import InstrumentedQueue, get_scheduler
 from repro.runtime.termination import TerminationDetector
-from repro.serialization.splitmd import unpack_metadata
+from repro.serialization.splitmd import splitmd_phase_names, unpack_metadata
 from repro.serialization.traits import select_protocol
 from repro.sim.cluster import Cluster
 from repro.sim.trace import Tracer
+from repro.telemetry.events import TID_PROTO, Telemetry
 
 #: Size charged for control-only active messages (task-id only, no data).
 CONTROL_BYTES = 64
@@ -66,7 +67,14 @@ class BackendConfig:
 
 @dataclass
 class RunStats:
-    """Aggregate counters for one execution."""
+    """Aggregate counters for one execution.
+
+    ``tasks_by_template`` and ``bytes_by_protocol`` are the per-template /
+    per-protocol breakdowns of ``tasks_executed`` and ``remote_bytes``
+    (control messages are charged to protocol ``"control"``); both are
+    maintained unconditionally -- they cost one dict update on paths that
+    already touch several counters.
+    """
 
     tasks_executed: int = 0
     local_deliveries: int = 0
@@ -81,9 +89,14 @@ class RunStats:
     broadcast_payloads_sent: int = 0
     broadcast_keys_covered: int = 0
     makespan: float = 0.0
+    tasks_by_template: Dict[str, int] = field(default_factory=dict)
+    bytes_by_protocol: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
-        return dict(self.__dict__)
+        d = dict(self.__dict__)
+        d["tasks_by_template"] = dict(self.tasks_by_template)
+        d["bytes_by_protocol"] = dict(self.bytes_by_protocol)
+        return d
 
 
 class _ReadyTask:
@@ -135,6 +148,32 @@ class WorkerPool:
         self._node = node
         self.gpu_tasks_executed = 0
         self.gpu_transfer_bytes = 0
+
+    def enable_telemetry(self, tel: Telemetry) -> None:
+        """Wrap the ready queues with queue-wait / depth sampling."""
+        engine = self.backend.engine
+        rank = self.rank
+
+        def _sampler(device: str):
+            wait_hist = tel.metrics.histogram("queue_wait", rank=rank, device=device)
+            depth_gauge = tel.metrics.gauge("queue_depth_peak", rank=rank, device=device)
+
+            def on_push(depth: int) -> None:
+                if depth > depth_gauge.value:
+                    depth_gauge.set(depth)
+                tel.bus.counter(f"queue_depth_{device}", rank, depth=depth)
+
+            def on_pop(wait: float, depth: int) -> None:
+                wait_hist.observe(wait)
+                tel.bus.counter(f"queue_depth_{device}", rank, depth=depth)
+
+            return on_push, on_pop
+
+        clock = lambda: engine.now  # noqa: E731
+        on_push, on_pop = _sampler("cpu")
+        self._queue = InstrumentedQueue(self._queue, clock, on_push, on_pop)
+        on_push, on_pop = _sampler("gpu")
+        self._gpu_queue = InstrumentedQueue(self._gpu_queue, clock, on_push, on_pop)
 
     @property
     def queued(self) -> int:
@@ -188,13 +227,27 @@ class WorkerPool:
                 start + duration, self._complete_gpu, task, slot, start
             )
 
+    def _record_task(self, backend: "Backend", name: str, task: _ReadyTask,
+                     tid: int, start: float) -> None:
+        end = backend.engine.now
+        if backend.tracer is not None:
+            backend.tracer.record_task(name, task.key, self.rank, tid, start, end)
+        tel = backend.telemetry
+        if tel is not None:
+            tel.bus.complete(
+                name, self.rank, tid, start, end, cat="task",
+                args={"key": repr(task.key), "template": task.name,
+                      "priority": task.priority},
+            )
+            tel.metrics.counter("tasks", template=task.name, rank=self.rank).inc()
+            tel.metrics.histogram("task_time", template=task.name).observe(end - start)
+
     def _complete(self, task: _ReadyTask, worker: int, start: float) -> None:
         backend = self.backend
-        if backend.tracer is not None:
-            backend.tracer.record_task(
-                task.name, task.key, self.rank, worker, start, backend.engine.now
-            )
+        self._record_task(backend, task.name, task, worker, start)
         backend.stats.tasks_executed += 1
+        stats = backend.stats.tasks_by_template
+        stats[task.name] = stats.get(task.name, 0) + 1
         try:
             task.fn()
         finally:
@@ -204,12 +257,11 @@ class WorkerPool:
 
     def _complete_gpu(self, task: _ReadyTask, slot: int, start: float) -> None:
         backend = self.backend
-        if backend.tracer is not None:
-            backend.tracer.record_task(
-                f"{task.name}@gpu", task.key, self.rank, self.nworkers + slot,
-                start, backend.engine.now,
-            )
+        self._record_task(backend, f"{task.name}@gpu", task,
+                          self.nworkers + slot, start)
         backend.stats.tasks_executed += 1
+        stats = backend.stats.tasks_by_template
+        stats[task.name] = stats.get(task.name, 0) + 1
         self.gpu_tasks_executed += 1
         try:
             task.fn()
@@ -229,6 +281,7 @@ class Backend:
         cluster: Cluster,
         config: Optional[BackendConfig] = None,
         tracer: Optional[Tracer] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.cluster = cluster
         self.engine = cluster.engine
@@ -238,6 +291,9 @@ class Backend:
         # TTG-San hook point: armed by Executable(strict/sanitize), see
         # repro.analysis.sanitizer.  None => zero-overhead default path.
         self.sanitizer = None
+        # Telemetry hook point: attach_telemetry arms every layer's hooks.
+        # None => the default path pays one attribute load + branch.
+        self.telemetry = None
         self.termination = TerminationDetector()
         base_am = cluster.machine.network.am_overhead
         per_byte = self.config.am_cost_per_byte
@@ -248,6 +304,23 @@ class Backend:
         )
         self.rma = RmaWindow(self.comm)
         self.pools = [WorkerPool(self, r) for r in range(cluster.nranks)]
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Arm the telemetry hooks on every layer this backend owns.
+
+        Binds the bus clock to this backend's engine, installs the
+        instrumented ready queues, and points the comm engine and
+        termination detector at the same bus.  Attach before submitting
+        work (the queue wrappers require empty queues).
+        """
+        telemetry.bind(self)
+        self.telemetry = telemetry
+        self.comm.telemetry = telemetry
+        self.termination.telemetry = telemetry
+        for pool in self.pools:
+            pool.enable_telemetry(telemetry)
 
     # ------------------------------------------------------------------ info
 
@@ -324,6 +397,13 @@ class Backend:
         self.termination.message_sent()
         self.stats.remote_messages += 1
         self.stats.remote_bytes += nbytes
+        proto_stats = self.stats.bytes_by_protocol
+        proto_stats["control"] = proto_stats.get("control", 0) + nbytes
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter("messages", protocol="control",
+                                src=src, dst=dst).inc()
+            tel.metrics.counter("message_bytes", protocol="control").inc(nbytes)
 
         def _handler() -> None:
             self.termination.message_delivered()
@@ -356,25 +436,52 @@ class Backend:
         self.termination.message_sent()
         self.stats.remote_messages += 1
         self.stats.remote_bytes += msg.total_bytes
+        proto_stats = self.stats.bytes_by_protocol
+        proto_stats[msg.protocol] = proto_stats.get(msg.protocol, 0) + msg.total_bytes
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter("messages", protocol=msg.protocol,
+                                src=src, dst=dst).inc()
+            tel.metrics.counter("message_bytes", protocol=msg.protocol).inc(
+                msg.total_bytes)
         send_start = self.engine.now
         if msg.sender_copy_bytes:
             self.stats.copies += 1
             self.stats.copy_bytes += msg.sender_copy_bytes
             send_start += node.copy_time(msg.sender_copy_bytes)
+            if tel is not None:
+                tel.metrics.counter("copies", kind="sender", rank=src).inc()
+                tel.metrics.counter("copy_bytes", kind="sender").inc(
+                    msg.sender_copy_bytes)
 
         if msg.protocol == "splitmd":
             meta_bytes, payload = msg.payload
             handle = self.rma.register(src, payload, max(msg.rma_bytes, 1))
             self.stats.rma_transfers += 1
             self.stats.rma_bytes += msg.rma_bytes
+            meta_name, rma_name = splitmd_phase_names(tag)
+            flow = tel.bus.new_flow() if tel is not None and tel.bus.enabled else None
 
             def _on_meta() -> None:
+                meta_end = self.engine.now
+                if flow is not None:
+                    tel.bus.complete(
+                        meta_name, dst, TID_PROTO, send_start, meta_end,
+                        cat="proto", flow=flow,
+                        args={"src": src, "nbytes": msg.eager_bytes},
+                    )
                 cls, meta = unpack_metadata(meta_bytes)
                 obj = cls.splitmd_allocate(meta)
 
                 def _on_payload(data: Any) -> None:
                     if data is not None:
                         obj.splitmd_fill(data)
+                    if flow is not None:
+                        tel.bus.complete(
+                            rma_name, dst, TID_PROTO, meta_end,
+                            self.engine.now, cat="proto", flow=flow,
+                            args={"src": src, "nbytes": msg.rma_bytes},
+                        )
                     # Notify the sender to release the registered region.
                     self.comm.send_am(
                         dst, src, CONTROL_BYTES, self._release_handle, handle, tag="rel"
@@ -433,11 +540,16 @@ class Backend:
         cloned) value and the copy delay to charge before delivery.
         """
         need_copy = mode == "value" or (mode == "cref" and self.config.copy_on_cref)
+        tel = self.telemetry
         if not need_copy:
             if self.sanitizer is not None and mode == "cref":
                 # The runtime now shares this object with a consumer; any
                 # later mutation by the sender is a write-after-share race.
                 self.sanitizer.on_cref_share(value)
+            if tel is not None:
+                tel.metrics.counter("copies_avoided", mode=mode).inc()
+                tel.metrics.counter("copy_bytes_avoided", mode=mode).inc(
+                    int(getattr(value, "nbytes", 0) or 0))
             return value, 0.0
         nbytes = int(getattr(value, "nbytes", 0) or 0)
         delay = 0.0
@@ -445,6 +557,9 @@ class Backend:
             self.stats.copies += 1
             self.stats.copy_bytes += nbytes
             delay = self.cluster.node.copy_time(nbytes)
+            if tel is not None:
+                tel.metrics.counter("copies", kind="local").inc()
+                tel.metrics.counter("copy_bytes", kind="local").inc(nbytes)
         clone = getattr(value, "clone", None)
         return (clone() if callable(clone) else value), delay
 
@@ -469,4 +584,6 @@ class Backend:
                 "never released (data life-cycle leak)"
             )
         self.stats.makespan = self.engine.now
+        if self.telemetry is not None:
+            self.telemetry.metrics.gauge("makespan").set(self.engine.now)
         return self.engine.now

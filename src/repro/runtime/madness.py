@@ -19,6 +19,7 @@ from typing import Optional
 from repro.runtime.base import Backend, BackendConfig
 from repro.sim.cluster import Cluster
 from repro.sim.trace import Tracer
+from repro.telemetry.events import Telemetry
 
 
 class MadnessBackend(Backend):
@@ -31,6 +32,7 @@ class MadnessBackend(Backend):
         cluster: Cluster,
         config: Optional[BackendConfig] = None,
         tracer: Optional[Tracer] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if config is None:
             config = BackendConfig(
@@ -44,7 +46,7 @@ class MadnessBackend(Backend):
                 # this per-byte term only covers header handling.
                 am_cost_per_byte=2.0e-11,
             )
-        super().__init__(cluster, config, tracer)
+        super().__init__(cluster, config, tracer, telemetry)
 
     def _copies_block_am_server(self) -> bool:
         return True

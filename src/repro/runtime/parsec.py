@@ -20,6 +20,7 @@ from typing import Optional
 from repro.runtime.base import Backend, BackendConfig
 from repro.sim.cluster import Cluster
 from repro.sim.trace import Tracer
+from repro.telemetry.events import Telemetry
 
 
 class ParsecBackend(Backend):
@@ -32,6 +33,7 @@ class ParsecBackend(Backend):
         cluster: Cluster,
         config: Optional[BackendConfig] = None,
         tracer: Optional[Tracer] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if config is None:
             config = BackendConfig(
@@ -42,7 +44,7 @@ class ParsecBackend(Backend):
                 copy_on_cref=False,
                 am_cost_per_byte=0.0,
             )
-        super().__init__(cluster, config, tracer)
+        super().__init__(cluster, config, tracer, telemetry)
 
     def _copies_block_am_server(self) -> bool:
         # Deserialization (when a non-splitmd protocol is used at all) runs

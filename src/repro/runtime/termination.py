@@ -41,6 +41,10 @@ class TerminationDetector:
         self.tasks_retired = 0
         self._callbacks: List[Callable[[], None]] = []
         self._armed = False
+        # Set by Backend.attach_telemetry: quiescence epochs become
+        # instant events on the runtime timeline.
+        self.telemetry = None
+        self._epochs = 0
 
     # ------------------------------------------------------------ accounting
 
@@ -79,6 +83,18 @@ class TerminationDetector:
     def _check(self) -> None:
         if self._armed and self.quiescent:
             self._armed = False
+            self._epochs += 1
+            tel = self.telemetry
+            if tel is not None:
+                from repro.telemetry.events import TID_RT
+
+                tel.bus.instant(
+                    "quiescence", 0, TID_RT, cat="rt",
+                    epoch=self._epochs,
+                    tasks=self.tasks_retired,
+                    messages=self.messages_delivered,
+                )
+                tel.metrics.counter("quiescence_epochs").inc()
             callbacks, self._callbacks = self._callbacks, []
             for cb in callbacks:
                 cb()

@@ -46,6 +46,16 @@ class SplitMetadataSupport(TypingProtocol):
     def splitmd_fill(self, payload: np.ndarray) -> None: ...
 
 
+def splitmd_phase_names(tag: str) -> Tuple[str, str]:
+    """Span names for the two stages of a splitmd transfer of ``tag``.
+
+    Telemetry links the eager-metadata span and the RMA-payload span of
+    one transfer with a flow arrow; both layers must agree on the names,
+    so they live here next to the protocol itself.
+    """
+    return f"splitmd:meta:{tag}", f"splitmd:rma:{tag}"
+
+
 def pack_metadata(value: SplitMetadataSupport) -> bytes:
     """Serialize (type identity, metadata) into a small eager buffer."""
     ar = BufferOutputArchive()

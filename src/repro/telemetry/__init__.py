@@ -1,0 +1,97 @@
+"""Unified observability for the TTG reproduction (``repro.telemetry``).
+
+The paper's whole evaluation depends on seeing inside the runtime -- task
+rates, broadcast dedup savings, splitmd vs. eager volumes, priority-map
+effects -- so this package provides the measurement substrate every layer
+records into:
+
+- :mod:`repro.telemetry.events` -- the low-overhead structured event bus
+  (spans / instants / counters in per-rank ring buffers) and the
+  :class:`Telemetry` bundle backends carry.
+- :mod:`repro.telemetry.metrics` -- labelled counters, gauges and
+  histograms with per-template / per-rank / per-edge rollups.
+- :mod:`repro.telemetry.export` -- Chrome trace-event JSON (loads in
+  Perfetto / chrome://tracing), JSONL event logs, counters JSON.
+- :mod:`repro.telemetry.analyze` -- critical-path extraction over the
+  recorded task/message DAG, per-template summaries, idle breakdowns,
+  run-to-run counter comparison.
+- :mod:`repro.telemetry.adapter` -- the legacy :class:`~repro.sim.trace.
+  Tracer` / Gantt / Profile views as consumers of the unified stream,
+  plus the :func:`~repro.telemetry.adapter.capture` recorder.
+- ``python -m repro.telemetry`` -- record / report / export /
+  critical-path / compare / validate CLI (:mod:`repro.telemetry.cli`).
+
+Telemetry is off by default and adds only a ``None``-check per hook when
+disabled.  Enable it per run::
+
+    from repro.telemetry import Telemetry
+    tel = Telemetry(nranks=4)
+    backend = ParsecBackend(cluster, telemetry=tel)
+    ...
+    write_chrome_trace("trace.json", tel)
+"""
+
+from repro.telemetry.events import (
+    CounterEvent,
+    EventBus,
+    InstantEvent,
+    SpanEvent,
+    Telemetry,
+    TelemetryError,
+    TID_AM,
+    TID_PROTO,
+    TID_RMA,
+    TID_RT,
+    TID_SAN,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.export import (
+    read_counters_json,
+    read_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_counters_json,
+    write_jsonl,
+)
+from repro.telemetry.analyze import (
+    CriticalPath,
+    compare_counters,
+    critical_path,
+    idle_breakdown,
+    summary_by_template,
+)
+from repro.telemetry.adapter import RecordedRun, as_tracer, capture
+
+__all__ = [
+    "CounterEvent",
+    "EventBus",
+    "InstantEvent",
+    "SpanEvent",
+    "Telemetry",
+    "TelemetryError",
+    "TID_AM",
+    "TID_PROTO",
+    "TID_RMA",
+    "TID_RT",
+    "TID_SAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "read_counters_json",
+    "read_jsonl",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_counters_json",
+    "write_jsonl",
+    "CriticalPath",
+    "compare_counters",
+    "critical_path",
+    "idle_breakdown",
+    "summary_by_template",
+    "RecordedRun",
+    "as_tracer",
+    "capture",
+]

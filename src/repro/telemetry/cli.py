@@ -1,0 +1,246 @@
+"""``python -m repro.telemetry`` -- record and analyze executions.
+
+Subcommands:
+
+- ``record SCRIPT`` -- execute a Python script (as ``__main__``, exactly
+  like running it), attach a :class:`~repro.telemetry.events.Telemetry`
+  to every backend it binds a graph to, and export the recording::
+
+      python -m repro.telemetry record examples/cholesky_example.py \\
+          --export trace.json --jsonl events.jsonl --counters counters.json
+      python -m repro.telemetry record examples/cholesky_example.py \\
+          --critical-path
+
+  Scripts binding several backends record one run each; ``--graph N``
+  selects which run the exporters use (default 0, ``--list`` shows all).
+
+- ``report LOG.jsonl`` -- per-template summary, idle breakdown and
+  sanitizer findings of a recorded JSONL event log.
+- ``critical-path LOG.jsonl`` -- longest task chain of a recording.
+- ``export LOG.jsonl -o trace.json`` -- convert JSONL to Chrome trace.
+- ``compare A.json B.json`` -- counter deltas between two counters JSONs.
+- ``validate trace.json`` -- schema-check a Chrome trace file.
+
+Exit status 0 on success; 1 when the script crashed, a validation found
+problems, or nothing was recorded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import sys
+import traceback
+from contextlib import redirect_stdout
+from typing import List, Optional, Sequence, TextIO
+
+from repro.telemetry import analyze
+from repro.telemetry.adapter import RecordedRun, capture
+from repro.telemetry.export import (
+    read_counters_json,
+    read_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_counters_json,
+    write_jsonl,
+)
+
+
+def run_script(path: str, events: bool = True,
+               capacity: Optional[int] = None) -> tuple:
+    """Execute ``path`` under :func:`~repro.telemetry.adapter.capture`.
+
+    Returns ``(runs, script_output, crash)``; ``crash`` is a formatted
+    traceback string or None.
+    """
+    try:
+        with open(path) as fh:
+            source = fh.read()
+    except OSError as e:
+        return [], "", f"cannot read {path}: {e}"
+
+    globalns = {"__name__": "__main__", "__file__": path,
+                "__builtins__": __builtins__}
+    crash = None
+    buf = io.StringIO()
+    with capture(events=events, capacity=capacity) as runs:
+        try:
+            with redirect_stdout(buf):
+                exec(compile(source, path, "exec"), globalns)
+        except SystemExit as e:
+            if e.code not in (None, 0):
+                crash = f"script exited with status {e.code}"
+        except BaseException:
+            crash = traceback.format_exc(limit=8)
+    return runs, buf.getvalue(), crash
+
+
+def _select_run(runs: List[RecordedRun], index: int, out: TextIO) -> Optional[RecordedRun]:
+    if not runs:
+        print("no graphs were bound to a backend; nothing recorded", file=out)
+        return None
+    if not (0 <= index < len(runs)):
+        print(f"--graph {index} out of range; recorded {len(runs)} run(s):",
+              file=out)
+        for i, run in enumerate(runs):
+            print(f"  [{i}] {run.label}", file=out)
+        return None
+    return runs[index]
+
+
+# -------------------------------------------------------------- subcommands
+
+
+def cmd_record(args: argparse.Namespace, out: TextIO) -> int:
+    runs, script_output, crash = run_script(
+        args.script, events=not args.no_events, capacity=args.capacity
+    )
+    if args.verbose and script_output:
+        for ln in script_output.rstrip().splitlines():
+            print("  | " + ln, file=out)
+    if crash is not None:
+        print(f"== repro.telemetry == {args.script}: script failed", file=out)
+        for ln in crash.rstrip().splitlines():
+            print("  " + ln, file=out)
+        return 1
+
+    print(f"== repro.telemetry == {args.script}: {len(runs)} run(s)", file=out)
+    for i, run in enumerate(runs):
+        marker = "*" if i == args.graph else " "
+        print(f"  [{i}]{marker} {run.label}: {len(run.telemetry.bus)} events, "
+              f"{len(run.telemetry.metrics)} metric series", file=out)
+    if args.list:
+        return 0
+    run = _select_run(runs, args.graph, out)
+    if run is None:
+        return 1
+
+    if args.export:
+        write_chrome_trace(args.export, run.telemetry)
+        with open(args.export) as fh:
+            problems = validate_chrome_trace(json.load(fh))
+        if problems:
+            print(f"  exported {args.export} FAILED validation:", file=out)
+            for p in problems[:20]:
+                print(f"    {p}", file=out)
+            return 1
+        print(f"  wrote {args.export} (valid Chrome trace)", file=out)
+    if args.jsonl:
+        n = write_jsonl(args.jsonl, run.telemetry)
+        print(f"  wrote {args.jsonl} ({n} events)", file=out)
+    if args.counters:
+        write_counters_json(args.counters, run.telemetry,
+                            meta={"script": args.script, "run": run.label})
+        print(f"  wrote {args.counters}", file=out)
+    if args.critical_path:
+        print(analyze.critical_path(run.telemetry).report(), file=out)
+    if args.report:
+        print(analyze.report(run.telemetry), file=out)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace, out: TextIO) -> int:
+    print(analyze.report(read_jsonl(args.log)), file=out)
+    return 0
+
+
+def cmd_critical_path(args: argparse.Namespace, out: TextIO) -> int:
+    cp = analyze.critical_path(read_jsonl(args.log))
+    print(cp.report(), file=out)
+    return 0 if cp.nodes else 1
+
+
+def cmd_export(args: argparse.Namespace, out: TextIO) -> int:
+    bus = read_jsonl(args.log)
+    write_chrome_trace(args.output, bus)
+    with open(args.output) as fh:
+        problems = validate_chrome_trace(json.load(fh))
+    if problems:
+        for p in problems[:20]:
+            print(p, file=out)
+        return 1
+    print(f"wrote {args.output} ({len(bus)} events)", file=out)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace, out: TextIO) -> int:
+    a = read_counters_json(args.a)
+    b = read_counters_json(args.b)
+    rows = analyze.compare_counters(a, b)
+    print(analyze.format_compare(rows, only_changed=args.only_changed), file=out)
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace, out: TextIO) -> int:
+    with open(args.trace) as fh:
+        problems = validate_chrome_trace(json.load(fh))
+    if problems:
+        for p in problems:
+            print(p, file=out)
+        return 1
+    print(f"{args.trace}: valid Chrome trace", file=out)
+    return 0
+
+
+# -------------------------------------------------------------------- main
+
+
+def main(argv: Optional[Sequence[str]] = None, stream: TextIO = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Record, export and analyze TTG runtime telemetry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("record", help="run a script with telemetry attached")
+    p.add_argument("script", help="Python script that builds and runs TTGs")
+    p.add_argument("--export", metavar="TRACE.json",
+                   help="write a Chrome trace (validated after writing)")
+    p.add_argument("--jsonl", metavar="LOG.jsonl",
+                   help="write the raw event log")
+    p.add_argument("--counters", metavar="COUNTERS.json",
+                   help="write the metrics-registry counters JSON")
+    p.add_argument("--critical-path", action="store_true",
+                   help="print the critical-path report")
+    p.add_argument("--report", action="store_true",
+                   help="print the per-template / per-rank summary")
+    p.add_argument("--graph", type=int, default=0, metavar="N",
+                   help="which recorded run the exporters use (default 0)")
+    p.add_argument("--list", action="store_true",
+                   help="only list the recorded runs")
+    p.add_argument("--capacity", type=int, default=None, metavar="N",
+                   help="per-rank ring-buffer capacity (default unbounded)")
+    p.add_argument("--no-events", action="store_true",
+                   help="metrics only (no event recording)")
+    p.add_argument("--verbose", action="store_true",
+                   help="show the script's own stdout")
+    p.set_defaults(fn=cmd_record)
+
+    p = sub.add_parser("report", help="summarize a JSONL event log")
+    p.add_argument("log")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("critical-path", help="critical path of a JSONL log")
+    p.add_argument("log")
+    p.set_defaults(fn=cmd_critical_path)
+
+    p = sub.add_parser("export", help="convert a JSONL log to a Chrome trace")
+    p.add_argument("log")
+    p.add_argument("-o", "--output", required=True, metavar="TRACE.json")
+    p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser("compare", help="counter deltas between two runs")
+    p.add_argument("a", metavar="A.json")
+    p.add_argument("b", metavar="B.json")
+    p.add_argument("--only-changed", action="store_true",
+                   help="hide counters with zero delta")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("validate", help="schema-check a Chrome trace file")
+    p.add_argument("trace")
+    p.set_defaults(fn=cmd_validate)
+
+    args = parser.parse_args(argv)
+    out = stream or sys.stdout
+    return args.fn(args, out)

@@ -1,0 +1,303 @@
+"""Structured event bus: spans, instants, counters in per-rank ring buffers.
+
+The bus is the single collection point for everything the runtime,
+communication and core layers can observe about an execution (the metrics
+registry in :mod:`repro.telemetry.metrics` aggregates; the bus *records*).
+Three event kinds:
+
+- **spans** -- an interval on one (rank, tid) timeline: a task execution,
+  an active message occupying the AM server, a splitmd phase.  Spans may
+  be recorded whole (:meth:`EventBus.complete`) or opened and closed
+  (:meth:`EventBus.begin` / :meth:`EventBus.end`), in which case proper
+  LIFO nesting per timeline is enforced.
+- **instants** -- a point event: a dependency edge, a sanitizer finding,
+  a quiescence epoch, stream control.
+- **counters** -- a sampled numeric snapshot (queue depth and the like).
+
+Telemetry is *off by default*: every hook site in the runtime guards on
+``backend.telemetry is None``, so a run without an attached
+:class:`Telemetry` pays one attribute load and one branch per hook.  When
+enabled, events land in per-rank ring buffers (``deque(maxlen=capacity)``)
+so memory stays bounded on long runs; evictions are counted in
+:attr:`EventBus.dropped`.
+
+Timelines within a rank are identified by an integer ``tid``: worker
+threads use their worker index, and the reserved ids below keep transport
+and diagnostic events on their own named lanes in the exported trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+#: Reserved timeline ids (per rank).  Worker threads occupy 0..nworkers-1
+#: (plus GPU slots right above); these lanes hold non-worker activity.
+TID_AM = 900       #: active-message server processing
+TID_RMA = 901      #: one-sided transfers landing at the origin
+TID_PROTO = 902    #: serialization-protocol phases (eager, splitmd meta/rma)
+TID_SAN = 903      #: TTG-San findings
+TID_RT = 904       #: runtime housekeeping (quiescence, stream control, deps)
+
+THREAD_NAMES = {
+    TID_AM: "am-server",
+    TID_RMA: "rma",
+    TID_PROTO: "protocol",
+    TID_SAN: "ttg-san",
+    TID_RT: "runtime",
+}
+
+
+class TelemetryError(RuntimeError):
+    """Misuse of the telemetry API (mis-nested spans, late attach...)."""
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One interval on a (rank, tid) timeline."""
+
+    name: str
+    cat: str
+    rank: int
+    tid: int
+    start: float
+    end: float
+    args: Dict[str, Any] = field(default_factory=dict)
+    flow: Optional[int] = None
+
+    @property
+    def ts(self) -> float:
+        return self.start
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """One point event."""
+
+    name: str
+    cat: str
+    rank: int
+    tid: int
+    ts: float
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CounterEvent:
+    """A sampled numeric snapshot (one or more named values)."""
+
+    name: str
+    rank: int
+    ts: float
+    values: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cat(self) -> str:
+        return "counter"
+
+
+class _OpenSpan:
+    """Handle returned by :meth:`EventBus.begin`; close with ``end``."""
+
+    __slots__ = ("name", "cat", "rank", "tid", "start", "args", "flow", "closed")
+
+    def __init__(self, name: str, cat: str, rank: int, tid: int, start: float,
+                 args: Dict[str, Any], flow: Optional[int]) -> None:
+        self.name = name
+        self.cat = cat
+        self.rank = rank
+        self.tid = tid
+        self.start = start
+        self.args = args
+        self.flow = flow
+        self.closed = False
+
+
+class EventBus:
+    """Per-rank ring buffers of telemetry events.
+
+    ``capacity`` bounds each rank's buffer; ``capacity=0`` drops every
+    event (metrics-only mode, used by the bench harness); ``capacity=None``
+    is unbounded (tests, short runs).  ``clock`` is a zero-argument
+    callable returning the current virtual time; binding a backend
+    replaces it with the backend engine's clock.
+    """
+
+    def __init__(
+        self,
+        nranks: int = 1,
+        capacity: Optional[int] = 65536,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.clock: Callable[[], float] = clock or (lambda: 0.0)
+        self.capacity = capacity
+        self._rings: List = []
+        self.dropped: List[int] = []
+        self.ensure_ranks(max(1, nranks))
+        self._stacks: Dict[Tuple[int, int], List[_OpenSpan]] = {}
+        self._flow_ids = itertools.count(1)
+
+    # ------------------------------------------------------------- plumbing
+
+    def now(self) -> float:
+        return self.clock()
+
+    def ensure_ranks(self, nranks: int) -> None:
+        from collections import deque
+
+        while len(self._rings) < nranks:
+            self._rings.append(deque(maxlen=self.capacity))
+            self.dropped.append(0)
+
+    @property
+    def enabled(self) -> bool:
+        """False in metrics-only mode (``capacity=0``): no events recorded."""
+        return self.capacity != 0
+
+    def new_flow(self) -> int:
+        """A fresh id linking related spans (exported as a flow arrow)."""
+        return next(self._flow_ids)
+
+    def _append(self, rank: int, ev: Any) -> None:
+        if self.capacity == 0:
+            return
+        if rank >= len(self._rings):
+            self.ensure_ranks(rank + 1)
+        ring = self._rings[rank]
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self.dropped[rank] += 1
+        ring.append(ev)
+
+    # ------------------------------------------------------------ recording
+
+    def begin(self, name: str, rank: int, tid: int = 0, cat: str = "",
+              flow: Optional[int] = None, **args: Any) -> _OpenSpan:
+        """Open a span on (rank, tid); close it with :meth:`end`."""
+        span = _OpenSpan(name, cat, rank, tid, self.now(), dict(args), flow)
+        self._stacks.setdefault((rank, tid), []).append(span)
+        return span
+
+    def end(self, span: _OpenSpan, **extra: Any) -> SpanEvent:
+        """Close ``span``; open spans on a timeline must close LIFO."""
+        if span.closed:
+            raise TelemetryError(f"span {span.name!r} ended twice")
+        stack = self._stacks.get((span.rank, span.tid), [])
+        if not stack or stack[-1] is not span:
+            raise TelemetryError(
+                f"span {span.name!r} ended out of order on rank {span.rank} "
+                f"tid {span.tid} (open: {[s.name for s in stack]})"
+            )
+        stack.pop()
+        span.closed = True
+        if extra:
+            span.args.update(extra)
+        ev = SpanEvent(span.name, span.cat, span.rank, span.tid, span.start,
+                       self.now(), span.args, span.flow)
+        self._append(span.rank, ev)
+        return ev
+
+    @contextmanager
+    def span(self, name: str, rank: int, tid: int = 0, cat: str = "",
+             flow: Optional[int] = None, **args: Any) -> Iterator[_OpenSpan]:
+        handle = self.begin(name, rank, tid, cat, flow, **args)
+        try:
+            yield handle
+        finally:
+            self.end(handle)
+
+    def complete(self, name: str, rank: int, tid: int, start: float, end: float,
+                 cat: str = "", flow: Optional[int] = None,
+                 args: Optional[Dict[str, Any]] = None) -> SpanEvent:
+        """Record an already-finished span (no nesting bookkeeping)."""
+        ev = SpanEvent(name, cat, rank, tid, start, end, args or {}, flow)
+        self._append(rank, ev)
+        return ev
+
+    def instant(self, name: str, rank: int, tid: int = 0, cat: str = "",
+                **args: Any) -> InstantEvent:
+        ev = InstantEvent(name, cat, rank, tid, self.now(), dict(args))
+        self._append(rank, ev)
+        return ev
+
+    def counter(self, name: str, rank: int, **values: float) -> CounterEvent:
+        ev = CounterEvent(name, rank, self.now(), dict(values))
+        self._append(rank, ev)
+        return ev
+
+    # -------------------------------------------------------------- queries
+
+    def open_spans(self) -> List[_OpenSpan]:
+        return [s for stack in self._stacks.values() for s in stack]
+
+    def events(self, rank: Optional[int] = None) -> List[Any]:
+        """All recorded events, time-sorted (stable across ranks)."""
+        if rank is not None:
+            evs = list(self._rings[rank])
+        else:
+            evs = [ev for ring in self._rings for ev in ring]
+        return sorted(evs, key=lambda e: (e.ts, e.rank))
+
+    def spans(self, cat: Optional[str] = None) -> List[SpanEvent]:
+        return [e for e in self.events()
+                if isinstance(e, SpanEvent) and (cat is None or e.cat == cat)]
+
+    def instants(self, cat: Optional[str] = None) -> List[InstantEvent]:
+        return [e for e in self.events()
+                if isinstance(e, InstantEvent) and (cat is None or e.cat == cat)]
+
+    def counters(self, name: Optional[str] = None) -> List[CounterEvent]:
+        return [e for e in self.events()
+                if isinstance(e, CounterEvent) and (name is None or e.name == name)]
+
+    def __len__(self) -> int:
+        return sum(len(r) for r in self._rings)
+
+    @property
+    def nranks(self) -> int:
+        return len(self._rings)
+
+    def makespan(self) -> float:
+        """Largest end/ts across all events (0 when empty)."""
+        out = 0.0
+        for ring in self._rings:
+            for e in ring:
+                out = max(out, e.end if isinstance(e, SpanEvent) else e.ts)
+        return out
+
+
+class Telemetry:
+    """The bundle a backend carries: one event bus + one metrics registry.
+
+    Create one per execution and attach it with
+    ``backend.attach_telemetry(telemetry)`` (or pass ``telemetry=`` to the
+    backend constructor); :meth:`bind` is called by the backend and wires
+    the bus clock to the backend's virtual-time engine.
+
+    ``events=False`` keeps only the metrics registry (bus capacity 0) --
+    the cheap mode the bench harness uses for counters-JSON emission.
+    """
+
+    def __init__(self, nranks: int = 1, capacity: Optional[int] = 65536,
+                 events: bool = True) -> None:
+        from repro.telemetry.metrics import MetricsRegistry
+
+        self.bus = EventBus(nranks=nranks, capacity=capacity if events else 0)
+        self.metrics = MetricsRegistry()
+        self._bound_backend: Optional[Any] = None
+
+    def bind(self, backend: Any) -> None:
+        """Wire the bus to ``backend``'s engine clock and rank count."""
+        self._bound_backend = backend
+        engine = backend.engine
+        self.bus.clock = lambda: engine.now
+        self.bus.ensure_ranks(backend.nranks)
+
+    @property
+    def backend(self) -> Optional[Any]:
+        return self._bound_backend

@@ -1,0 +1,145 @@
+"""CLI: record/report/export/critical-path/compare/validate subcommands."""
+
+import io
+import json
+import textwrap
+
+import pytest
+
+from repro.telemetry.cli import main
+
+
+SCRIPT = textwrap.dedent(
+    """
+    from repro import core as ttg
+    from repro.runtime import ParsecBackend
+    from repro.sim.cluster import Cluster, HAWK
+
+    e = ttg.Edge("x", key_type=int, value_type=int)
+
+    def src(key, outs):
+        for k in range(6):
+            outs.send(0, k, k)
+
+    def snk(key, v, outs):
+        print("got", key)
+
+    A = ttg.make_tt(src, [], [e], name="A", keymap=lambda k: 0)
+    B = ttg.make_tt(snk, [e], [], name="B", keymap=lambda k: k % 2,
+                    cost=lambda k, v: 100.0)
+    ex = ttg.TaskGraph([A, B], name="pipeline").executable(
+        ParsecBackend(Cluster(HAWK, 2)))
+    ex.invoke(A, 0)
+    ex.fence()
+    """
+)
+
+
+@pytest.fixture()
+def script(tmp_path):
+    p = tmp_path / "run_pipeline.py"
+    p.write_text(SCRIPT)
+    return str(p)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), stream=out)
+    return code, out.getvalue()
+
+
+def test_record_exports_all_artifacts(script, tmp_path):
+    trace = tmp_path / "trace.json"
+    jsonl = tmp_path / "events.jsonl"
+    counters = tmp_path / "counters.json"
+    code, text = run_cli(
+        "record", script, "--export", str(trace), "--jsonl", str(jsonl),
+        "--counters", str(counters), "--critical-path", "--report",
+    )
+    assert code == 0
+    assert "1 run(s)" in text
+    assert "pipeline@parsec(nranks=2)" in text
+    assert "valid Chrome trace" in text
+    assert "critical path:" in text
+    assert trace.exists() and jsonl.exists() and counters.exists()
+    data = json.loads(trace.read_text())
+    assert any(e.get("name") == "A" for e in data["traceEvents"])
+
+
+def test_record_verbose_shows_script_stdout(script):
+    code, text = run_cli("record", script, "--verbose")
+    assert code == 0
+    assert "| got" in text
+
+
+def test_record_list_and_graph_selection(script):
+    code, text = run_cli("record", script, "--list")
+    assert code == 0 and "[0]" in text
+    code, text = run_cli("record", script, "--graph", "5")
+    assert code == 1 and "out of range" in text
+
+
+def test_record_crashing_script(tmp_path):
+    p = tmp_path / "boom.py"
+    p.write_text("raise RuntimeError('nope')\n")
+    code, text = run_cli("record", str(p))
+    assert code == 1 and "script failed" in text and "nope" in text
+
+
+def test_record_script_with_no_graphs(tmp_path):
+    p = tmp_path / "empty.py"
+    p.write_text("x = 1\n")
+    code, text = run_cli("record", str(p), "--critical-path")
+    assert code == 1 and "nothing recorded" in text
+
+
+def test_report_and_critical_path_from_jsonl(script, tmp_path):
+    jsonl = tmp_path / "ev.jsonl"
+    code, _ = run_cli("record", script, "--jsonl", str(jsonl))
+    assert code == 0
+    code, text = run_cli("report", str(jsonl))
+    assert code == 0 and "template" in text and "B" in text
+    code, text = run_cli("critical-path", str(jsonl))
+    assert code == 0
+    assert text.splitlines()[0].startswith("critical path:")
+    assert "A[0]" in text
+
+
+def test_export_and_validate_round_trip(script, tmp_path):
+    jsonl = tmp_path / "ev.jsonl"
+    trace = tmp_path / "out.json"
+    run_cli("record", script, "--jsonl", str(jsonl))
+    code, text = run_cli("export", str(jsonl), "-o", str(trace))
+    assert code == 0 and "wrote" in text
+    code, text = run_cli("validate", str(trace))
+    assert code == 0 and "valid Chrome trace" in text
+
+
+def test_validate_rejects_bad_trace(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}))
+    code, text = run_cli("validate", str(bad))
+    assert code == 1 and "name" in text
+
+
+def test_compare_counters(script, tmp_path):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    run_cli("record", script, "--counters", str(a))
+    run_cli("record", script, "--counters", str(b))
+    code, text = run_cli("compare", str(a), str(b))
+    assert code == 0
+    assert "tasks{" in text
+    code, text = run_cli("compare", str(a), str(b), "--only-changed")
+    assert code == 0
+    # Identical runs: nothing but the header survives --only-changed.
+    assert len(text.strip().splitlines()) == 1
+
+
+def test_no_events_mode_records_metrics_only(script, tmp_path):
+    counters = tmp_path / "c.json"
+    code, text = run_cli("record", script, "--no-events",
+                         "--counters", str(counters))
+    assert code == 0 and "0 events" in text
+    data = json.loads(counters.read_text())
+    assert any(k.startswith("tasks{") for k in data["counters"])

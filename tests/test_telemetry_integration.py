@@ -1,0 +1,266 @@
+"""Telemetry through the full stack: hooks, sampling, adapters, overhead."""
+
+import time
+
+import pytest
+
+from repro import core as ttg
+from repro.runtime import MadnessBackend, ParsecBackend
+from repro.runtime.base import BackendConfig
+from repro.runtime.scheduler import InstrumentedQueue, get_scheduler
+from repro.sim.cluster import Cluster, HAWK
+from repro.telemetry.adapter import as_tracer, capture
+from repro.telemetry.events import Telemetry
+
+
+def run_fanout(backend, nkeys=12, work=200.0):
+    """One source fanning out nkeys tasks, high keys prioritized."""
+    e = ttg.Edge("a2b", key_type=int, value_type=int)
+    done = []
+
+    def src(key, outs):
+        for k in range(nkeys):
+            outs.send(0, k, k)
+
+    def work_fn(key, v, outs):
+        done.append(key)
+
+    A = ttg.make_tt(src, [], [e], name="SRC", keymap=lambda k: 0)
+    B = ttg.make_tt(
+        work_fn, [e], [], name="WORK", keymap=lambda k: 0,
+        priomap=lambda k: k, cost=lambda k, v: work,
+    )
+    ex = ttg.TaskGraph([A, B]).executable(backend)
+    ex.invoke(A, 0)
+    ex.fence()
+    return done
+
+
+def test_queue_wait_sampled_under_priority_scheduler():
+    """On a 1-worker node every ready task but the first waits in queue;
+    the instrumented priority queue must observe those waits and pops
+    must come out priority-ordered."""
+    machine = HAWK.with_workers(1)
+    tel = Telemetry(nranks=1, capacity=None)
+    backend = ParsecBackend(
+        Cluster(machine, 1),
+        config=BackendConfig(scheduler="priority"),
+        telemetry=tel,
+    )
+    done = run_fanout(backend, nkeys=12)
+    # Key 0 starts on the idle worker as it arrives; everything else piles
+    # up behind it and must drain highest-priority-first.
+    assert done[1:] == sorted(done[1:], reverse=True)
+    wait = tel.metrics.get("queue_wait", rank=0, device="cpu")
+    assert wait is not None
+    assert wait.count == 13       # 12 WORK tasks + the SRC task itself
+    # The last-popped task waited through its 11 predecessors.
+    assert wait.vmax > wait.vmin >= 0.0
+    assert wait.total > 0.0
+    depths = tel.bus.counters("queue_depth_cpu")
+    assert depths
+    assert max(v.values["depth"] for v in depths) >= 11
+    assert tel.metrics.gauge("queue_depth_peak", rank=0, device="cpu").value >= 11
+
+
+def test_instrumented_queue_wraps_any_policy():
+    now = [0.0]
+    seen = []
+    q = InstrumentedQueue(
+        get_scheduler("fifo"), lambda: now[0],
+        on_pop=lambda wait, depth: seen.append((wait, depth)),
+    )
+    q.push("a")
+    now[0] = 2.0
+    q.push("b")
+    now[0] = 5.0
+    assert q.pop() == "a" and q.pop() == "b"
+    assert seen == [(5.0, 1), (3.0, 0)]
+    assert q.policy == "fifo"
+    assert len(q) == 0 and not q
+
+
+def test_instrumented_queue_rejects_nonempty_inner():
+    inner = get_scheduler("lifo")
+    inner.push("x")
+    with pytest.raises(ValueError):
+        InstrumentedQueue(inner, lambda: 0.0)
+
+
+def test_runstats_breakdowns_maintained_without_telemetry():
+    backend = ParsecBackend(Cluster(HAWK, 1))
+    run_fanout(backend, nkeys=5)
+    s = backend.stats
+    assert s.tasks_by_template["SRC"] == 1
+    assert s.tasks_by_template["WORK"] == 5
+    assert sum(s.tasks_by_template.values()) == s.tasks_executed
+    d = s.as_dict()
+    assert set(d) == set(type(s)().as_dict())
+    assert d["tasks_by_template"] is not s.tasks_by_template  # copied
+
+
+def test_bytes_by_protocol_split():
+    import numpy as np
+
+    from repro.linalg.tile import MatrixTile
+
+    tel = Telemetry(nranks=2, capacity=None)
+    backend = ParsecBackend(Cluster(HAWK, 2), telemetry=tel)
+    got = []
+    big = MatrixTile(64, 64, np.ones((64, 64)))  # 32 KiB > eager -> splitmd
+    backend.send_value(0, 1, big, got.append)
+    backend.send_control(0, 1, lambda: got.append("ctrl"))
+    backend.run()
+    assert len(got) == 2
+    bp = backend.stats.bytes_by_protocol
+    assert "splitmd" in bp and "control" in bp
+    assert bp["splitmd"] > 64 * 64 * 8
+    assert tel.metrics.get("messages", protocol="splitmd", src=0, dst=1).value == 1
+    proto = tel.bus.spans(cat="proto")
+    assert {p.name for p in proto} == {"splitmd:meta:data", "splitmd:rma:data"}
+    meta, rma = sorted(proto, key=lambda p: p.start)
+    assert meta.flow == rma.flow is not None
+    assert meta.end == pytest.approx(rma.start)
+
+
+def test_termination_quiescence_instants():
+    tel = Telemetry(nranks=1, capacity=None)
+    backend = ParsecBackend(Cluster(HAWK, 1), telemetry=tel)
+    run_fanout(backend, nkeys=3)
+    qs = tel.bus.instants(cat="rt")
+    assert qs and qs[-1].name == "quiescence"
+    assert qs[-1].args["tasks"] == backend.stats.tasks_executed + \
+        backend.stats.local_deliveries
+    assert tel.metrics.counter("quiescence_epochs").value >= 1
+
+
+def test_sanitizer_findings_land_on_timeline():
+    e = ttg.Edge("dup")
+    never = ttg.Edge("never")
+
+    def src(key, outs):
+        outs.send(0, 7, 1)
+        outs.send(0, 7, 2)
+
+    def sink(key, a, b, outs):
+        pass
+
+    S = ttg.make_tt(src, [], [e], name="S", keymap=lambda k: 0)
+    K = ttg.make_tt(sink, [e, never], [], name="K", keymap=lambda k: 0)
+    tel = Telemetry(nranks=1, capacity=None)
+    backend = ParsecBackend(Cluster(HAWK, 1), telemetry=tel)
+    ex = ttg.TaskGraph([S, K]).executable(backend, sanitize=True)
+    ex.invoke(S, 0)
+    with pytest.warns(RuntimeWarning):
+        with pytest.raises(Exception):
+            ex.fence()
+    san = tel.bus.instants(cat="san")
+    assert san, "sanitizer findings must appear as instant events"
+    assert all(ev.name.startswith("SAN") for ev in san)
+    assert all("location" in ev.args and "message" in ev.args for ev in san)
+    rule = san[0].name
+    assert tel.metrics.counter("san_findings", rule=rule).value >= 1
+
+
+def test_dep_instants_emitted_for_sends():
+    tel = Telemetry(nranks=1, capacity=None)
+    backend = ParsecBackend(Cluster(HAWK, 1), telemetry=tel)
+    run_fanout(backend, nkeys=4)
+    deps = tel.bus.instants(cat="dep")
+    assert len(deps) == 4
+    assert all(d.args["src"] == "SRC[0]" for d in deps)
+    assert {d.args["dst"] for d in deps} == {f"WORK[{k}]" for k in range(4)}
+
+
+def test_virtual_time_identical_with_and_without_telemetry():
+    """Telemetry must not perturb the simulation: same makespan, same
+    stats, task for task."""
+    results = []
+    for tel in (None, Telemetry(nranks=2, capacity=None)):
+        backend = ParsecBackend(Cluster(HAWK, 2), telemetry=tel)
+        e = ttg.Edge("x", key_type=int, value_type=int)
+        out = []
+
+        def src(key, outs):
+            for k in range(16):
+                outs.send(0, k, k)
+
+        def snk(key, v, outs):
+            out.append(key)
+
+        A = ttg.make_tt(src, [], [e], name="A", keymap=lambda k: 0)
+        B = ttg.make_tt(snk, [e], [], name="B", keymap=lambda k: k % 2,
+                        cost=lambda k, v: 500.0)
+        ex = ttg.TaskGraph([A, B]).executable(backend)
+        ex.invoke(A, 0)
+        makespan = ex.fence()
+        results.append((makespan, backend.stats.as_dict(), sorted(out)))
+    (m0, s0, o0), (m1, s1, o1) = results
+    assert m0 == m1
+    assert s0 == s1
+    assert o0 == o1
+
+
+def test_disabled_overhead_is_small():
+    """The no-op path (telemetry=None) must stay within a lenient factor
+    of the seed's cost profile -- a coarse tripwire for accidentally
+    putting work on the hot path."""
+
+    def once():
+        backend = ParsecBackend(Cluster(HAWK, 2))
+        t0 = time.perf_counter()
+        run_fanout(backend, nkeys=300, work=10.0)
+        return time.perf_counter() - t0
+
+    once()                      # warm imports/JIT-ish caches
+    base = min(once() for _ in range(3))
+    assert base < 5.0           # absolute sanity: this is a tiny graph
+
+
+def test_as_tracer_adapter_feeds_legacy_views():
+    tel = Telemetry(nranks=2, capacity=None)
+    backend = ParsecBackend(Cluster(HAWK, 2), telemetry=tel)
+    e = ttg.Edge("x", key_type=int, value_type=int)
+
+    def src(key, outs):
+        for k in range(4):
+            outs.send(0, k, k)
+
+    def snk(key, v, outs):
+        pass
+
+    A = ttg.make_tt(src, [], [e], name="A", keymap=lambda k: 0)
+    B = ttg.make_tt(snk, [e], [], name="B", keymap=lambda k: k % 2)
+    ex = ttg.TaskGraph([A, B]).executable(backend)
+    ex.invoke(A, 0)
+    ex.fence()
+
+    tracer = as_tracer(tel)
+    names = {t.name for t in tracer.tasks}
+    assert {"A", "B"} <= names
+    assert len(tracer.tasks) == backend.stats.tasks_executed
+    assert tracer.messages  # remote sends became message records
+
+    from repro.sim.gantt import gantt_svg
+    from repro.sim.profile import Profile
+
+    svg = gantt_svg(tracer, backend.cluster)
+    assert svg.startswith("<svg")
+    assert "B" in Profile(tracer, backend.cluster).report()
+
+
+def test_capture_attaches_to_every_backend():
+    with capture(capacity=None) as runs:
+        for cls in (ParsecBackend, MadnessBackend):
+            backend = cls(Cluster(HAWK, 1))
+            run_fanout(backend, nkeys=3)
+    assert len(runs) == 2
+    assert {r.backend.name for r in runs} == {"parsec", "madness"}
+    for r in runs:
+        assert len(r.telemetry.bus.spans(cat="task")) == 4
+        assert r.graphs == ["ttg"]
+        assert "ttg@" in r.label
+    # Observer removed: backends made after the block stay dark.
+    backend = ParsecBackend(Cluster(HAWK, 1))
+    run_fanout(backend, nkeys=1)
+    assert backend.telemetry is None
