@@ -5,18 +5,27 @@ without going through pytest:
 
     python -m repro.bench table1
     python -m repro.bench fig5 --max-nodes 8
-    python -m repro.bench fig8
+    python -m repro.bench fig8 --telemetry fig8.json   # + .trace.json/.jsonl
     python -m repro.bench all
+
+The benchmark-history watchdog (no experiment argument needed):
+
+    python -m repro.bench --record-history --update-baseline
+    python -m repro.bench --check-regressions            # exit 1 on regression
+    python -m repro.bench --check-regressions --record-history --seeds 0,1,2
+
+History lives in ``BENCH_<app>.json`` files (``--history-dir``, default the
+current directory); see :mod:`repro.bench.history`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.bench import figures
-from repro.bench.harness import print_series, print_table, write_telemetry_counters
+from repro.bench import figures, history
+from repro.bench.harness import print_series, print_table, write_telemetry_bundle
 from repro.bench.plot import print_chart
 
 _FIGS: Dict[str, Callable] = {
@@ -59,15 +68,60 @@ def run_figure(name: str, max_nodes: Optional[int]) -> None:
     print_chart(list(series.values()), title=title)
 
 
+def _parse_seeds(text: str) -> List[int]:
+    try:
+        return [int(s) for s in text.split(",") if s.strip() != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad seed list {text!r}")
+
+
+def _parse_apps(text: str) -> List[str]:
+    apps = [s.strip() for s in text.split(",") if s.strip()]
+    for app in apps:
+        if app not in history.MEASUREMENTS:
+            raise argparse.ArgumentTypeError(
+                f"unknown app {app!r} (have: {sorted(history.MEASUREMENTS)})"
+            )
+    return apps
+
+
+def run_watchdog_cli(args: argparse.Namespace) -> int:
+    """--record-history / --check-regressions / --update-baseline."""
+    reports, written = history.run_watchdog(
+        directory=args.history_dir,
+        apps=args.apps,
+        seeds=args.seeds,
+        measure=not args.no_measure,
+        record=args.record_history,
+        update_baseline=args.update_baseline,
+        thresholds={"makespan": args.threshold, "gflops": args.threshold}
+        if args.threshold is not None else None,
+    )
+    for report in reports:
+        print(report.format())
+        print()
+    for path in written:
+        print(f"wrote {path}")
+    if args.check_regressions:
+        bad = [v for r in reports for v in r.regressions]
+        if bad:
+            print(f"REGRESSION: {len(bad)} gated metric(s) regressed "
+                  f"beyond threshold", file=sys.stderr)
+            return 1
+        print("no regressions against the stored baselines")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Regenerate a table/figure of the TTG paper on the simulator.",
+        description="Regenerate a table/figure of the TTG paper on the "
+        "simulator, or run the benchmark-history watchdog.",
     )
     parser.add_argument(
-        "experiment",
+        "experiment", nargs="?", default=None,
         choices=["table1", *sorted(_FIGS), "all"],
-        help="which experiment to run",
+        help="which experiment to run (omit when using the watchdog flags)",
     )
     parser.add_argument(
         "--max-nodes", type=int, default=None,
@@ -75,10 +129,38 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--telemetry", metavar="COUNTERS.json", default=None,
-        help="capture telemetry counters (metrics only) across every "
-        "backend the experiment binds and write the merged counters JSON",
+        help="capture telemetry across every backend the experiment binds "
+        "and write the merged counters JSON plus the replayable "
+        "<stem>.trace.json Chrome trace and <stem>.jsonl event log",
     )
+    wd = parser.add_argument_group("benchmark-history watchdog")
+    wd.add_argument("--record-history", action="store_true",
+                    help="run the seed-swept matrix and append the records "
+                    "to the BENCH_<app>.json files")
+    wd.add_argument("--check-regressions", action="store_true",
+                    help="compare fresh + trailing records against the "
+                    "stored baselines; exit 1 on regression")
+    wd.add_argument("--update-baseline", action="store_true",
+                    help="record the seed-swept matrix as the new baseline")
+    wd.add_argument("--history-dir", default=".", metavar="DIR",
+                    help="directory of the BENCH_<app>.json files (default .)")
+    wd.add_argument("--apps", type=_parse_apps, default=["potrf", "fw"],
+                    metavar="A,B", help="watchdog apps (default potrf,fw)")
+    wd.add_argument("--seeds", type=_parse_seeds, default=[0, 1, 2],
+                    metavar="0,1,2", help="seed sweep of the matrix")
+    wd.add_argument("--no-measure", action="store_true",
+                    help="skip fresh measurements; judge only the records "
+                    "already stored after the baseline window")
+    wd.add_argument("--threshold", type=float, default=None, metavar="FRAC",
+                    help="relative regression tolerance (default 0.10)")
     args = parser.parse_args(argv)
+
+    watchdog = args.record_history or args.check_regressions or args.update_baseline
+    if args.experiment is None and not watchdog:
+        parser.error("give an experiment, or one of --record-history / "
+                     "--check-regressions / --update-baseline")
+    if watchdog:
+        return run_watchdog_cli(args)
 
     def run_all() -> None:
         if args.experiment in ("table1", "all"):
@@ -92,13 +174,16 @@ def main(argv=None) -> int:
     if args.telemetry is not None:
         from repro.telemetry.adapter import capture
 
-        with capture(events=False) as runs:
+        with capture(events=True) as runs:
             run_all()
-        n = write_telemetry_counters(
+        written = write_telemetry_bundle(
             args.telemetry, runs, meta={"experiment": args.experiment}
         )
-        print(f"\nwrote {args.telemetry} ({n} metric series, "
-              f"{len(runs)} backend run(s))")
+        print(f"\nwrote {written['counters']} ({len(runs)} backend run(s))")
+        if "trace" in written:
+            print(f"wrote {written['trace']} and {written['jsonl']} "
+                  f"(replay: python -m repro.telemetry report-html "
+                  f"{written['jsonl']} -o report.html)")
     else:
         run_all()
     return 0

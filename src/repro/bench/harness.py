@@ -77,6 +77,60 @@ def write_telemetry_counters(
     return len(merged.metrics)
 
 
+def merged_event_bus(runs: Sequence[Any]) -> Any:
+    """One EventBus holding every captured run's events.
+
+    Each run keeps its own virtual clock, so runs are kept apart by
+    *rank namespacing*: run ``i``'s rank ``r`` becomes rank
+    ``offset_i + r`` in the merged bus (offsets are cumulative rank
+    counts).  Dropped-event counts carry over per namespaced rank.
+    """
+    import dataclasses
+
+    from repro.telemetry.events import EventBus
+
+    merged = EventBus(nranks=1, capacity=None)
+    offset = 0
+    for run in runs:
+        bus = run.telemetry.bus
+        merged.ensure_ranks(offset + bus.nranks)
+        for ev in bus.events():
+            merged._append(offset + ev.rank, dataclasses.replace(
+                ev, rank=offset + ev.rank))
+        for r, n in enumerate(bus.dropped):
+            merged.dropped[offset + r] += n
+        offset += bus.nranks
+    return merged
+
+
+def write_telemetry_bundle(
+    counters_path: str, runs: Sequence[Any],
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, str]:
+    """The full bench-side telemetry emission: counters JSON plus the
+    Chrome trace and JSONL event log (``<stem>.trace.json`` /
+    ``<stem>.jsonl``) of the rank-namespaced merged event stream, so a
+    bench run replays into ``python -m repro.telemetry report-html``.
+
+    Returns ``{kind: path}`` for what was written (trace/jsonl are
+    skipped when the capture recorded no events).
+    """
+    from repro.telemetry.export import write_chrome_trace, write_jsonl
+
+    write_telemetry_counters(counters_path, runs, meta)
+    out = {"counters": counters_path}
+    merged = merged_event_bus(runs)
+    if len(merged) == 0:
+        return out
+    stem = counters_path[:-5] if counters_path.endswith(".json") else counters_path
+    trace_path, jsonl_path = f"{stem}.trace.json", f"{stem}.jsonl"
+    write_chrome_trace(trace_path, merged)
+    write_jsonl(jsonl_path, merged)
+    out["trace"] = trace_path
+    out["jsonl"] = jsonl_path
+    return out
+
+
 def print_table(title: str, columns: Sequence[str], rows: Iterable[Sequence]) -> None:
     """Plain fixed-width table (captured by pytest -s / tee)."""
     rows = [tuple(str(c) for c in row) for row in rows]

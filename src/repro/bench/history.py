@@ -1,0 +1,572 @@
+"""Versioned benchmark history and the statistical regression watchdog.
+
+The paper's evaluation is a *trajectory*: the same four applications
+measured repeatedly as runtime features landed.  This module keeps that
+trajectory for the reproduction -- one ``BENCH_<app>.json`` file per
+application, each an append-only list of :class:`BenchRecord` runs
+(makespan, Gflop/s, task/byte breakdowns, critical-path and idle
+fractions, a counter snapshot, the git SHA) -- and compares new runs
+against the stored baseline window with robust statistics so a future PR
+cannot silently regress POTRF or FW-APSP.
+
+Because the simulator is deterministic, a distribution is obtained by
+sweeping *seeds*: each seed rotates the block-cyclic tile-to-rank map
+(:class:`SeededBlockCyclic`), which keeps the DAG and total work
+identical while perturbing the communication pattern, so makespans vary
+the way real placement jitter makes them vary.
+
+Regression rule (per config group and metric): candidate median vs.
+baseline median must not move in the "worse" direction by more than
+``max(threshold * baseline_median, 3 * 1.4826 * MAD(baseline))``.
+
+CLI (see ``python -m repro.bench --help``)::
+
+    python -m repro.bench --record-history --update-baseline   # seed sweep
+    python -m repro.bench --check-regressions                  # CI gate
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+SCHEMA = "repro.bench/history"
+SCHEMA_VERSION = 2
+
+#: Relative tolerance per gated metric (fraction of the baseline median).
+DEFAULT_THRESHOLDS: Dict[str, float] = {"makespan": 0.10, "gflops": 0.10}
+
+#: Metrics the watchdog gates on, with the direction that is "better".
+GATED_METRICS: Dict[str, str] = {"makespan": "lower", "gflops": "higher"}
+
+#: MAD -> sigma consistency constant for normal data.
+_MAD_SIGMA = 1.4826
+
+
+def git_sha() -> str:
+    """Short SHA of HEAD, or "" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
+# ------------------------------------------------------------------ records
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark run of one application configuration."""
+
+    app: str
+    backend: str = "parsec"
+    config: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    makespan: float = 0.0
+    gflops: float = 0.0
+    tasks_total: int = 0
+    tasks_by_template: Dict[str, int] = field(default_factory=dict)
+    bytes_by_protocol: Dict[str, int] = field(default_factory=dict)
+    critical_path_fraction: float = 0.0
+    idle_fraction: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+    git_sha: str = ""
+    baseline: bool = False
+
+    @property
+    def config_key(self) -> str:
+        """Canonical group key: records with equal keys are comparable."""
+        cfg = ",".join(f"{k}={self.config[k]}" for k in sorted(self.config))
+        return f"{self.backend}|{cfg}"
+
+    def metric(self, name: str) -> float:
+        return float(getattr(self, name))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "app": self.app,
+            "backend": self.backend,
+            "config": dict(self.config),
+            "seed": self.seed,
+            "makespan": self.makespan,
+            "gflops": self.gflops,
+            "tasks_total": self.tasks_total,
+            "tasks_by_template": dict(self.tasks_by_template),
+            "bytes_by_protocol": dict(self.bytes_by_protocol),
+            "critical_path_fraction": self.critical_path_fraction,
+            "idle_fraction": self.idle_fraction,
+            "counters": dict(self.counters),
+            "git_sha": self.git_sha,
+            "baseline": self.baseline,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any]) -> "BenchRecord":
+        return cls(
+            app=obj["app"],
+            backend=obj.get("backend", "parsec"),
+            config=dict(obj.get("config", {})),
+            seed=int(obj.get("seed", 0)),
+            makespan=float(obj.get("makespan", 0.0)),
+            gflops=float(obj.get("gflops", 0.0)),
+            tasks_total=int(obj.get("tasks_total", 0)),
+            tasks_by_template=dict(obj.get("tasks_by_template", {})),
+            bytes_by_protocol=dict(obj.get("bytes_by_protocol", {})),
+            critical_path_fraction=float(obj.get("critical_path_fraction", 0.0)),
+            idle_fraction=float(obj.get("idle_fraction", 0.0)),
+            counters=dict(obj.get("counters", {})),
+            git_sha=obj.get("git_sha", ""),
+            baseline=bool(obj.get("baseline", False)),
+        )
+
+
+def _migrate_v1(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """v1 -> v2: records gained protocol/critical-path/idle fields and the
+    counter snapshot was renamed ``metrics`` -> ``counters``."""
+    for rec in payload.get("records", []):
+        rec.setdefault("bytes_by_protocol", {})
+        rec.setdefault("critical_path_fraction", 0.0)
+        rec.setdefault("idle_fraction", 0.0)
+        if "counters" not in rec:
+            rec["counters"] = rec.pop("metrics", {})
+    payload["version"] = 2
+    return payload
+
+
+#: version -> migration to the *next* version, applied in sequence.
+_MIGRATIONS: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+    1: _migrate_v1,
+}
+
+
+class BenchHistory:
+    """The append-only run history of one application."""
+
+    def __init__(self, app: str, records: Optional[List[BenchRecord]] = None) -> None:
+        self.app = app
+        self.records: List[BenchRecord] = list(records or [])
+
+    # ----------------------------------------------------------------- io
+
+    @staticmethod
+    def path_for(app: str, directory: str = ".") -> Path:
+        return Path(directory) / f"BENCH_{app}.json"
+
+    @classmethod
+    def load(cls, path: Any) -> "BenchHistory":
+        with open(path) as fh:
+            payload = json.load(fh)
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+            raise ValueError(f"{path}: not a {SCHEMA} file")
+        version = int(payload.get("version", 1))
+        if version > SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: schema version {version} is newer than this "
+                f"code's {SCHEMA_VERSION}"
+            )
+        while version < SCHEMA_VERSION:
+            payload = _MIGRATIONS[version](payload)
+            version = int(payload["version"])
+        return cls(
+            payload["app"],
+            [BenchRecord.from_dict(r) for r in payload.get("records", [])],
+        )
+
+    @classmethod
+    def load_app(cls, app: str, directory: str = ".") -> "BenchHistory":
+        """Load ``BENCH_<app>.json``; an empty history if the file is absent."""
+        path = cls.path_for(app, directory)
+        if not path.exists():
+            return cls(app)
+        return cls.load(path)
+
+    def save(self, path: Any = None, directory: str = ".") -> Path:
+        path = Path(path) if path is not None else self.path_for(self.app, directory)
+        payload = {
+            "schema": SCHEMA,
+            "version": SCHEMA_VERSION,
+            "app": self.app,
+            "records": [r.as_dict() for r in self.records],
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    # ------------------------------------------------------------- queries
+
+    def append(self, record: BenchRecord) -> None:
+        if record.app != self.app:
+            raise ValueError(f"record app {record.app!r} != history {self.app!r}")
+        self.records.append(record)
+
+    def config_keys(self) -> List[str]:
+        out: List[str] = []
+        for r in self.records:
+            if r.config_key not in out:
+                out.append(r.config_key)
+        return out
+
+    def group(self, config_key: str) -> List[BenchRecord]:
+        return [r for r in self.records if r.config_key == config_key]
+
+    def baselines(self, config_key: str) -> List[BenchRecord]:
+        return [r for r in self.group(config_key) if r.baseline]
+
+    def candidates(self, config_key: str) -> List[BenchRecord]:
+        """Non-baseline records recorded *after* the group's last baseline."""
+        group = self.group(config_key)
+        last = -1
+        for i, r in enumerate(group):
+            if r.baseline:
+                last = i
+        return [r for r in group[last + 1:] if not r.baseline]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+# --------------------------------------------------------------- statistics
+
+
+def median(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("median of empty sequence")
+    xs = sorted(values)
+    n = len(xs)
+    mid = n // 2
+    return xs[mid] if n % 2 else 0.5 * (xs[mid - 1] + xs[mid])
+
+
+def mad(values: Sequence[float], center: Optional[float] = None) -> float:
+    """Median absolute deviation (unscaled)."""
+    if not values:
+        raise ValueError("mad of empty sequence")
+    c = median(values) if center is None else center
+    return median([abs(x - c) for x in values])
+
+
+def robust_stats(values: Sequence[float]) -> Tuple[float, float]:
+    """(median, sigma-consistent MAD spread) of a sample."""
+    m = median(values)
+    return m, _MAD_SIGMA * mad(values, m)
+
+
+@dataclass
+class MetricVerdict:
+    """The watchdog's decision for one (config group, metric)."""
+
+    app: str
+    config_key: str
+    metric: str
+    status: str              # "improved" | "regressed" | "unchanged" | "no-baseline"
+    baseline_median: float = 0.0
+    baseline_spread: float = 0.0
+    candidate_median: float = 0.0
+    n_baseline: int = 0
+    n_candidate: int = 0
+    gating: bool = True
+
+    @property
+    def delta_pct(self) -> float:
+        if self.baseline_median == 0.0:
+            return 0.0
+        return 100.0 * (self.candidate_median - self.baseline_median) / self.baseline_median
+
+    def row(self) -> str:
+        mark = {"regressed": "!!", "improved": "++", "unchanged": "  ",
+                "no-baseline": "??"}[self.status]
+        return (f"{mark} {self.app:<8} {self.metric:<10} "
+                f"{self.baseline_median:12.6g} -> {self.candidate_median:12.6g} "
+                f"({self.delta_pct:+6.2f}%)  [{self.status}]  {self.config_key}")
+
+
+@dataclass
+class RegressionReport:
+    """Every verdict of one watchdog pass."""
+
+    verdicts: List[MetricVerdict] = field(default_factory=list)
+    thresholds: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_THRESHOLDS))
+
+    @property
+    def regressions(self) -> List[MetricVerdict]:
+        return [v for v in self.verdicts if v.status == "regressed" and v.gating]
+
+    @property
+    def improvements(self) -> List[MetricVerdict]:
+        return [v for v in self.verdicts if v.status == "improved"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        if not self.verdicts:
+            return "benchmark watchdog: nothing to check (no baselines/candidates)"
+        lines = [v.row() for v in self.verdicts]
+        lines.append(
+            f"benchmark watchdog: {len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s) across "
+            f"{len(self.verdicts)} checks"
+        )
+        return "\n".join(lines)
+
+
+def classify(
+    baseline: Sequence[float],
+    candidates: Sequence[float],
+    threshold: float,
+    better: str = "lower",
+) -> Tuple[str, float, float, float]:
+    """Compare candidate vs. baseline samples of one metric.
+
+    Returns ``(status, baseline_median, baseline_spread, candidate_median)``.
+    The move must exceed ``max(threshold * |median|, 3 * spread)`` in either
+    direction to count as a change; the sign + ``better`` decide which.
+    """
+    m_b, spread = robust_stats(baseline)
+    m_c = median(candidates)
+    if m_b == 0.0 and m_c == 0.0:
+        return "unchanged", m_b, spread, m_c
+    margin = max(threshold * abs(m_b), 3.0 * spread)
+    delta = m_c - m_b
+    if abs(delta) <= margin:
+        return "unchanged", m_b, spread, m_c
+    worse = delta > 0 if better == "lower" else delta < 0
+    return ("regressed" if worse else "improved"), m_b, spread, m_c
+
+
+def check_history(
+    history: BenchHistory,
+    extra_candidates: Iterable[BenchRecord] = (),
+    thresholds: Optional[Dict[str, float]] = None,
+) -> RegressionReport:
+    """Run the watchdog over one app's history (+ fresh measurements).
+
+    Candidates are the trailing non-baseline records of each config group
+    plus any ``extra_candidates`` (fresh runs not yet persisted).  Groups
+    without candidates are skipped; candidates without a baseline produce
+    a non-gating ``no-baseline`` verdict.
+    """
+    thresholds = dict(DEFAULT_THRESHOLDS, **(thresholds or {}))
+    extras = list(extra_candidates)
+    merged = BenchHistory(history.app, history.records + extras)
+    report = RegressionReport(thresholds=thresholds)
+    for key in merged.config_keys():
+        base = history.baselines(key)
+        cands = history.candidates(key) + [r for r in extras if r.config_key == key]
+        if not cands:
+            continue
+        for metric, better in GATED_METRICS.items():
+            if not base:
+                report.verdicts.append(MetricVerdict(
+                    history.app, key, metric, "no-baseline",
+                    candidate_median=median([r.metric(metric) for r in cands]),
+                    n_candidate=len(cands), gating=False,
+                ))
+                continue
+            bvals = [r.metric(metric) for r in base]
+            cvals = [r.metric(metric) for r in cands]
+            if all(v == 0.0 for v in bvals + cvals):
+                continue   # metric not recorded for this app (e.g. figure-only)
+            status, m_b, spread, m_c = classify(
+                bvals, cvals, thresholds.get(metric, 0.10), better
+            )
+            report.verdicts.append(MetricVerdict(
+                history.app, key, metric, status,
+                baseline_median=m_b, baseline_spread=spread,
+                candidate_median=m_c, n_baseline=len(base),
+                n_candidate=len(cands),
+            ))
+        # Task counts must not drift silently within one config: report
+        # (non-gating) when the candidate DAG executed a different number
+        # of tasks than the baseline DAG.
+        if base:
+            b_tasks = median([float(r.tasks_total) for r in base])
+            c_tasks = median([float(r.tasks_total) for r in cands])
+            if b_tasks != c_tasks and (b_tasks or c_tasks):
+                report.verdicts.append(MetricVerdict(
+                    history.app, key, "tasks_total", "improved"
+                    if c_tasks < b_tasks else "regressed",
+                    baseline_median=b_tasks, candidate_median=c_tasks,
+                    n_baseline=len(base), n_candidate=len(cands),
+                    gating=False,
+                ))
+    return report
+
+
+# ------------------------------------------------------------- measurement
+
+
+class SeededBlockCyclic:
+    """Block-cyclic tile map rotated by ``seed`` -- same grid, same DAG,
+    different owners, so a seed sweep yields a makespan distribution from
+    a fully deterministic simulator."""
+
+    def __init__(self, prows: int, pcols: int, seed: int = 0) -> None:
+        self.prows = prows
+        self.pcols = pcols
+        self.seed = seed
+
+    @classmethod
+    def for_ranks(cls, nranks: int, seed: int = 0) -> "SeededBlockCyclic":
+        from repro.linalg.tiled_matrix import grid_dims
+
+        return cls(*grid_dims(nranks), seed=seed)
+
+    @property
+    def nranks(self) -> int:
+        return self.prows * self.pcols
+
+    def rank_of(self, i: int, j: int) -> int:
+        return ((i + self.seed) % self.prows) * self.pcols + \
+            ((j + self.seed) % self.pcols)
+
+    def tiles_of_rank(self, rank: int, nt: int):
+        for i in range(nt):
+            for j in range(nt):
+                if self.rank_of(i, j) == rank:
+                    yield (i, j)
+
+
+def _observed_record(
+    app: str, result: Any, telemetry: Any, *, config: Dict[str, Any],
+    seed: int, backend_name: str,
+) -> BenchRecord:
+    """Assemble a BenchRecord from a driver result + its telemetry."""
+    from repro.telemetry import analyze
+
+    stats = dict(result.stats)
+    cp = analyze.critical_path(telemetry)
+    ranks = analyze.idle_breakdown(telemetry)
+    avail = sum(r.workers for r in ranks) * cp.makespan
+    busy = sum(r.busy for r in ranks)
+    counters = {
+        k: float(v) for k, v in stats.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+    return BenchRecord(
+        app=app,
+        backend=backend_name,
+        config=dict(config),
+        seed=seed,
+        makespan=result.makespan,
+        gflops=result.gflops,
+        tasks_total=int(stats.get("tasks_executed", 0)),
+        tasks_by_template=dict(stats.get("tasks_by_template", {})),
+        bytes_by_protocol=dict(stats.get("bytes_by_protocol", {})),
+        critical_path_fraction=cp.fraction,
+        idle_fraction=1.0 - busy / avail if avail > 0 else 0.0,
+        counters=counters,
+        git_sha=git_sha(),
+    )
+
+
+def measure_potrf(
+    seed: int = 0, *, nodes: int = 4, n: int = 1024, b: int = 128,
+    workers: int = 4,
+) -> BenchRecord:
+    """One telemetry-instrumented POTRF run on the scaled Hawk machine."""
+    from repro.apps.cholesky import cholesky_ttg
+    from repro.linalg import TiledMatrix
+    from repro.runtime import ParsecBackend
+    from repro.sim.cluster import Cluster, HAWK
+    from repro.telemetry import Telemetry
+
+    a = TiledMatrix(n, b, SeededBlockCyclic.for_ranks(nodes, seed), synthetic=True)
+    tel = Telemetry(nranks=nodes, capacity=None)
+    backend = ParsecBackend(Cluster(HAWK.with_workers(workers), nodes),
+                            telemetry=tel)
+    res = cholesky_ttg(a, backend)
+    config = {"machine": "hawk", "nodes": nodes, "workers": workers,
+              "n": n, "b": b}
+    return _observed_record("potrf", res, tel, config=config, seed=seed,
+                            backend_name="parsec")
+
+
+def measure_fw(
+    seed: int = 0, *, nodes: int = 4, n: int = 896, b: int = 128,
+    workers: int = 4,
+) -> BenchRecord:
+    """One telemetry-instrumented FW-APSP run on the scaled Hawk machine."""
+    from repro.apps.floydwarshall import floyd_warshall_ttg
+    from repro.linalg import TiledMatrix
+    from repro.runtime import ParsecBackend
+    from repro.sim.cluster import Cluster, HAWK
+    from repro.telemetry import Telemetry
+
+    w = TiledMatrix(n, b, SeededBlockCyclic.for_ranks(nodes, seed), synthetic=True)
+    tel = Telemetry(nranks=nodes, capacity=None)
+    backend = ParsecBackend(Cluster(HAWK.with_workers(workers), nodes),
+                            telemetry=tel)
+    res = floyd_warshall_ttg(w, backend)
+    config = {"machine": "hawk", "nodes": nodes, "workers": workers,
+              "n": n, "b": b}
+    return _observed_record("fw", res, tel, config=config, seed=seed,
+                            backend_name="parsec")
+
+
+#: The default watchdog matrix: app -> measurement function of one seed.
+MEASUREMENTS: Dict[str, Callable[..., BenchRecord]] = {
+    "potrf": measure_potrf,
+    "fw": measure_fw,
+}
+
+
+def measure_matrix(
+    apps: Sequence[str] = ("potrf", "fw"),
+    seeds: Sequence[int] = (0, 1, 2),
+) -> Dict[str, List[BenchRecord]]:
+    """Seed-swept measurements of the watchdog matrix, grouped by app."""
+    out: Dict[str, List[BenchRecord]] = {}
+    for app in apps:
+        fn = MEASUREMENTS.get(app)
+        if fn is None:
+            raise ValueError(
+                f"unknown watchdog app {app!r} (have: {sorted(MEASUREMENTS)})"
+            )
+        out[app] = [fn(seed) for seed in seeds]
+    return out
+
+
+def run_watchdog(
+    directory: str = ".",
+    apps: Sequence[str] = ("potrf", "fw"),
+    seeds: Sequence[int] = (0, 1, 2),
+    *,
+    measure: bool = True,
+    record: bool = False,
+    update_baseline: bool = False,
+    thresholds: Optional[Dict[str, float]] = None,
+) -> Tuple[List[RegressionReport], List[Path]]:
+    """The full record / baseline / check cycle the CLI drives.
+
+    - ``measure``: run the seed-swept matrix and use the fresh records as
+      candidates (plus any trailing non-baseline records already stored).
+    - ``record``: append the fresh records to the ``BENCH_*.json`` files.
+    - ``update_baseline``: mark the fresh records as baseline.
+    Returns the per-app reports and the paths written (if any).
+    """
+    fresh = measure_matrix(apps, seeds) if measure else {a: [] for a in apps}
+    reports: List[RegressionReport] = []
+    written: List[Path] = []
+    for app in apps:
+        history = BenchHistory.load_app(app, directory)
+        records = fresh.get(app, [])
+        if update_baseline:
+            for r in records:
+                r.baseline = True
+        reports.append(check_history(history, records, thresholds))
+        if record or update_baseline:
+            for r in records:
+                history.append(r)
+            written.append(history.save(directory=directory))
+    return reports, written

@@ -18,8 +18,12 @@ records into:
 - :mod:`repro.telemetry.adapter` -- the legacy :class:`~repro.sim.trace.
   Tracer` / Gantt / Profile views as consumers of the unified stream,
   plus the :func:`~repro.telemetry.adapter.capture` recorder.
-- ``python -m repro.telemetry`` -- record / report / export /
-  critical-path / compare / validate CLI (:mod:`repro.telemetry.cli`).
+- :mod:`repro.telemetry.report_html` -- dependency-free single-file HTML
+  run reports (inline-SVG Gantt with critical-path highlight, tables,
+  sparklines, benchmark-history trend charts).
+- ``python -m repro.telemetry`` -- record / report / report-html /
+  export / critical-path / compare / validate CLI
+  (:mod:`repro.telemetry.cli`).
 
 Telemetry is off by default and adds only a ``None``-check per hook when
 disabled.  Enable it per run::
@@ -62,6 +66,11 @@ from repro.telemetry.analyze import (
     summary_by_template,
 )
 from repro.telemetry.adapter import RecordedRun, as_tracer, capture
+from repro.telemetry.report_html import (
+    load_histories,
+    render_report,
+    write_report_html,
+)
 
 __all__ = [
     "CounterEvent",
@@ -94,4 +103,7 @@ __all__ = [
     "RecordedRun",
     "as_tracer",
     "capture",
+    "load_histories",
+    "render_report",
+    "write_report_html",
 ]

@@ -213,6 +213,18 @@ def report(source: Union[Telemetry, EventBus]) -> str:
     lines = [f"events: {len(bus)} "
              f"(dropped: {sum(bus.dropped)}), "
              f"makespan: {bus.makespan() * 1e3:.3f} ms"]
+    dropped = sum(bus.dropped)
+    if dropped > 0:
+        per_rank = ", ".join(f"rank {r}: {n}" for r, n in
+                             enumerate(bus.dropped) if n)
+        lines += [
+            "",
+            f"WARNING: {dropped} event(s) evicted from the ring buffers "
+            f"({per_rank}).",
+            "         Analysis below runs on a truncated window -- idle and",
+            "         critical-path numbers are skewed. Re-record with a",
+            "         larger --capacity (or capacity=None).",
+        ]
     rows = summary_by_template(bus)
     if rows:
         lines.append("")
@@ -259,6 +271,9 @@ def compare_counters(
                 return float(snap["value"])
             if "total" in snap:
                 return float(snap["total"])
+            # Histogram snapshot missing its total (e.g. hand-written or
+            # pre-v1 payloads): fall back to count, else treat as absent.
+            return float(snap.get("count", 0.0))
         return float(snap)
 
     rows = []

@@ -16,10 +16,14 @@ Subcommands:
 
 - ``report LOG.jsonl`` -- per-template summary, idle breakdown and
   sanitizer findings of a recorded JSONL event log.
+- ``report-html LOG.jsonl -o report.html`` -- self-contained single-file
+  HTML report (Gantt + critical path + tables + sparklines; add
+  ``--history-dir`` to include the BENCH_*.json trend charts).
 - ``critical-path LOG.jsonl`` -- longest task chain of a recording.
 - ``export LOG.jsonl -o trace.json`` -- convert JSONL to Chrome trace.
 - ``compare A.json B.json`` -- counter deltas between two counters JSONs.
-- ``validate trace.json`` -- schema-check a Chrome trace file.
+- ``validate trace.json`` -- schema-check a Chrome trace file; traces
+  recorded on an overflowing ring buffer fail unless ``--allow-drops``.
 
 Exit status 0 on success; 1 when the script crashed, a validation found
 problems, or nothing was recorded.
@@ -145,6 +149,20 @@ def cmd_report(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+def cmd_report_html(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.telemetry.report_html import load_histories, write_report_html
+
+    bus = read_jsonl(args.log)
+    histories = load_histories(args.history_dir) if args.history_dir else []
+    nbytes = write_report_html(
+        args.output, bus, title=args.title or f"repro run report: {args.log}",
+        histories=histories,
+    )
+    print(f"wrote {args.output} ({nbytes} bytes, {len(bus)} events, "
+          f"{len(histories)} history file(s))", file=out)
+    return 0
+
+
 def cmd_critical_path(args: argparse.Namespace, out: TextIO) -> int:
     cp = analyze.critical_path(read_jsonl(args.log))
     print(cp.report(), file=out)
@@ -174,12 +192,25 @@ def cmd_compare(args: argparse.Namespace, out: TextIO) -> int:
 
 def cmd_validate(args: argparse.Namespace, out: TextIO) -> int:
     with open(args.trace) as fh:
-        problems = validate_chrome_trace(json.load(fh))
+        data = json.load(fh)
+    problems = validate_chrome_trace(data)
     if problems:
         for p in problems:
             print(p, file=out)
         return 1
-    print(f"{args.trace}: valid Chrome trace", file=out)
+    dropped = 0
+    if isinstance(data, dict):
+        counts = data.get("otherData", {}).get("dropped", [])
+        dropped = sum(counts) if isinstance(counts, list) else 0
+    if dropped and not args.allow_drops:
+        print(f"{args.trace}: schema ok, but {dropped} event(s) were "
+              f"evicted from the ring buffers during recording -- the "
+              f"trace is truncated and analyses over it are skewed "
+              f"(pass --allow-drops to accept, or re-record with a "
+              f"larger --capacity)", file=out)
+        return 1
+    suffix = f" ({dropped} drops allowed)" if dropped else ""
+    print(f"{args.trace}: valid Chrome trace{suffix}", file=out)
     return 0
 
 
@@ -221,6 +252,15 @@ def main(argv: Optional[Sequence[str]] = None, stream: TextIO = None) -> int:
     p.add_argument("log")
     p.set_defaults(fn=cmd_report)
 
+    p = sub.add_parser("report-html",
+                       help="render a JSONL log as a single-file HTML report")
+    p.add_argument("log")
+    p.add_argument("-o", "--output", required=True, metavar="REPORT.html")
+    p.add_argument("--history-dir", default=None, metavar="DIR",
+                   help="include BENCH_*.json trend charts from DIR")
+    p.add_argument("--title", default=None)
+    p.set_defaults(fn=cmd_report_html)
+
     p = sub.add_parser("critical-path", help="critical path of a JSONL log")
     p.add_argument("log")
     p.set_defaults(fn=cmd_critical_path)
@@ -239,6 +279,8 @@ def main(argv: Optional[Sequence[str]] = None, stream: TextIO = None) -> int:
 
     p = sub.add_parser("validate", help="schema-check a Chrome trace file")
     p.add_argument("trace")
+    p.add_argument("--allow-drops", action="store_true",
+                   help="accept traces recorded with ring-buffer evictions")
     p.set_defaults(fn=cmd_validate)
 
     args = parser.parse_args(argv)

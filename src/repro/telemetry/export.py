@@ -117,11 +117,18 @@ def to_chrome_events(source: Union[Telemetry, EventBus]) -> List[Dict[str, Any]]
 
 
 def to_chrome_trace(source: Union[Telemetry, EventBus]) -> Dict[str, Any]:
-    """The full Chrome trace object, ready to ``json.dump``."""
+    """The full Chrome trace object, ready to ``json.dump``.
+
+    Per-rank ring-buffer eviction counts ride along in
+    ``otherData.dropped`` so downstream consumers (``validate``, the HTML
+    report) can tell a complete recording from a truncated one.
+    """
+    bus = _bus_of(source)
     return {
-        "traceEvents": to_chrome_events(source),
+        "traceEvents": to_chrome_events(bus),
         "displayTimeUnit": "ms",
-        "otherData": {"producer": "repro.telemetry"},
+        "otherData": {"producer": "repro.telemetry",
+                      "dropped": list(bus.dropped)},
     }
 
 

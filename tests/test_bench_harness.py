@@ -51,3 +51,74 @@ def test_table1_configs():
     for r in rows:
         assert r["workers/node"] > 0
         assert r["net GB/s"] > 0
+
+
+def _two_captured_runs():
+    """Two tiny telemetered 2-rank runs via the capture() recorder."""
+    from repro import core as ttg
+    from repro.runtime import ParsecBackend
+    from repro.sim.cluster import Cluster, HAWK
+    from repro.telemetry.adapter import capture
+
+    def src(key, outs):
+        for k in range(4):
+            outs.send(0, k, k)
+
+    def snk(key, v, outs):
+        pass
+
+    with capture(events=True) as runs:
+        for _ in range(2):
+            e = ttg.Edge("x", key_type=int, value_type=int)
+            A = ttg.make_tt(src, [], [e], name="A", keymap=lambda k: 0)
+            B = ttg.make_tt(snk, [e], [], name="B", keymap=lambda k: k % 2)
+            ex = ttg.TaskGraph([A, B]).executable(
+                ParsecBackend(Cluster(HAWK, 2)))
+            ex.invoke(A, 0)
+            ex.fence()
+    return runs
+
+
+def test_merged_event_bus_namespaces_ranks():
+    from repro.bench.harness import merged_event_bus
+
+    runs = _two_captured_runs()
+    assert len(runs) == 2
+    merged = merged_event_bus(runs)
+    assert merged.nranks == 4      # 2 runs x 2 ranks, offset not aliased
+    ranks = {ev.rank for ev in merged.events()}
+    assert ranks & {0, 1} and ranks & {2, 3}
+    assert len(merged) == sum(len(r.telemetry.bus) for r in runs)
+
+
+def test_write_telemetry_bundle_emits_all_three_files(tmp_path):
+    import json
+
+    from repro.bench.harness import write_telemetry_bundle
+    from repro.telemetry.export import read_jsonl, validate_chrome_trace
+
+    runs = _two_captured_runs()
+    counters = tmp_path / "bench.json"
+    written = write_telemetry_bundle(str(counters), runs, meta={"x": 1})
+    assert set(written) == {"counters", "trace", "jsonl"}
+    assert written["trace"] == str(tmp_path / "bench.trace.json")
+    assert written["jsonl"] == str(tmp_path / "bench.jsonl")
+
+    assert "counters" in json.loads(counters.read_text())
+    trace = json.loads((tmp_path / "bench.trace.json").read_text())
+    assert validate_chrome_trace(trace) == []
+    bus = read_jsonl(written["jsonl"])
+    assert len(bus) > 0 and bus.nranks == 4
+
+
+def test_write_telemetry_bundle_counters_only_without_events(tmp_path):
+    from repro.bench.harness import write_telemetry_bundle
+
+    class FakeTel:
+        def __init__(self):
+            from repro.telemetry.events import Telemetry
+            self.telemetry = Telemetry(events=False)
+            self.label = "fake"
+
+    written = write_telemetry_bundle(str(tmp_path / "c.json"), [FakeTel()])
+    assert set(written) == {"counters"}

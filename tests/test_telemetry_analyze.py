@@ -146,3 +146,56 @@ def test_compare_counters_and_format():
     assert as_map["h"] == (5.0, 5.0, 0.0)
     text = format_compare(rows, only_changed=True)
     assert "tasks" in text and "h" not in text.split("\n", 1)[1]
+
+
+def test_report_on_empty_bus():
+    text = report(EventBus(capacity=None))
+    assert "events: 0" in text and "WARNING" not in text
+
+
+def test_report_warns_loudly_on_dropped_events():
+    bus = EventBus(nranks=1, capacity=4)
+    for i in range(20):
+        _task(bus, "T", i, float(i), float(i) + 0.5)
+    assert sum(bus.dropped) == 16
+    text = report(bus)
+    assert "WARNING: 16 event(s) evicted" in text
+    assert "rank 0: 16" in text
+    assert "truncated window" in text and "--capacity" in text
+
+
+def test_idle_breakdown_zero_task_rank():
+    # Rank 1 only communicates; it must still appear, with comm time,
+    # a defensive 1-worker floor and zero utilization.
+    bus = diamond_bus()
+    bus.complete("am", 1, TID_RT, 0.0, 0.5, cat="comm",
+                 args={"nbytes": 64})
+    rows = {r.rank: r for r in idle_breakdown(bus)}
+    assert set(rows) == {0, 1}
+    r1 = rows[1]
+    assert r1.busy == 0.0 and r1.workers == 1
+    assert r1.comm == pytest.approx(0.5)
+    assert r1.utilization == 0.0
+    assert r1.idle == pytest.approx(4.0)    # 1 worker * diamond makespan
+
+
+def test_idle_breakdown_empty_bus():
+    assert idle_breakdown(EventBus(capacity=None)) == []
+
+
+def test_compare_counters_missing_histogram_fields():
+    # Snapshots without value/total (hand-written or pre-v1): fall back to
+    # count, then 0.0 -- never KeyError.
+    a = {"counters": {"h": {"count": 4}, "weird": {"p50": 1.0}}}
+    b = {"counters": {"h": {"count": 6}}}
+    as_map = {k: (va, vb, d) for k, va, vb, d in compare_counters(a, b)}
+    assert as_map["h"] == (4.0, 6.0, 2.0)
+    assert as_map["weird"] == (0.0, 0.0, 0.0)
+
+
+def test_summary_and_critical_path_on_comm_only_bus():
+    bus = EventBus(capacity=None)
+    bus.complete("am", 0, TID_RT, 0.0, 1.0, cat="comm", args={"nbytes": 8})
+    assert summary_by_template(bus) == []
+    cp = critical_path(bus)
+    assert cp.length == 0 and cp.makespan == pytest.approx(1.0)

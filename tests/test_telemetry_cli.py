@@ -143,3 +143,34 @@ def test_no_events_mode_records_metrics_only(script, tmp_path):
     assert code == 0 and "0 events" in text
     data = json.loads(counters.read_text())
     assert any(k.startswith("tasks{") for k in data["counters"])
+
+
+def test_validate_fails_on_truncated_recording(script, tmp_path):
+    trace = tmp_path / "trunc.json"
+    code, _ = run_cli("record", script, "--capacity", "3",
+                      "--export", str(trace))
+    assert code == 0
+    data = json.loads(trace.read_text())
+    assert sum(data["otherData"]["dropped"]) > 0
+
+    code, text = run_cli("validate", str(trace))
+    assert code == 1
+    assert "evicted" in text and "--allow-drops" in text
+
+    code, text = run_cli("validate", str(trace), "--allow-drops")
+    assert code == 0 and "drops allowed" in text
+
+
+def test_validate_accepts_complete_recording_without_flag(script, tmp_path):
+    trace = tmp_path / "full.json"
+    run_cli("record", script, "--export", str(trace))
+    code, text = run_cli("validate", str(trace))
+    assert code == 0 and "valid Chrome trace" in text and "allowed" not in text
+
+
+def test_report_warns_on_drops_from_capacity_limited_run(script, tmp_path):
+    jsonl = tmp_path / "ev.jsonl"
+    code, text = run_cli("record", script, "--capacity", "3",
+                         "--jsonl", str(jsonl), "--report")
+    assert code == 0
+    assert "WARNING" in text and "evicted" in text

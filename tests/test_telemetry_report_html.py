@@ -1,0 +1,135 @@
+"""Single-file HTML report: Gantt SVG, critical-path highlight, tables."""
+
+import json
+import re
+
+import pytest
+
+from repro.apps.cholesky import cholesky_ttg
+from repro.bench.history import BenchHistory, BenchRecord
+from repro.linalg import BlockCyclicDistribution, TiledMatrix, spd_matrix
+from repro.runtime import ParsecBackend
+from repro.sim.cluster import Cluster, HAWK
+from repro.telemetry import Telemetry
+from repro.telemetry.cli import main as telemetry_main
+from repro.telemetry.export import write_jsonl
+from repro.telemetry.report_html import (
+    gantt_svg,
+    load_histories,
+    protocol_bytes,
+    render_report,
+    sparkline_svg,
+    trend_svg,
+    write_report_html,
+)
+
+
+@pytest.fixture(scope="module")
+def cholesky_run():
+    """One telemetered 2-rank Cholesky run."""
+    a = spd_matrix(256, seed=11)
+    m = TiledMatrix.from_dense(a, 64, BlockCyclicDistribution(2, 1))
+    tel = Telemetry(capacity=None)
+    backend = ParsecBackend(Cluster(HAWK.with_workers(2), 2), telemetry=tel)
+    cholesky_ttg(m, backend)
+    return tel
+
+
+def test_report_is_self_contained_html(cholesky_run):
+    html = render_report(cholesky_run, title="cholesky run")
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<svg" in html and "cholesky run" in html
+    # No external fetches of any kind: the file must open offline.
+    assert not re.search(r'(src|href)\s*=\s*"https?://', html)
+    assert "<script" not in html.lower()
+
+
+def test_report_gantt_highlights_critical_path(cholesky_run):
+    html = render_report(cholesky_run)
+    assert 'class="crit"' in html
+    # Every recorded template appears in the per-template table.
+    for template in ("POTRF", "TRSM", "SYRK", "GEMM"):
+        assert template in html
+
+
+def test_report_sections_present(cholesky_run):
+    html = render_report(cholesky_run)
+    for section in ("Timeline", "Critical path", "Per-template durations",
+                    "Idle breakdown", "Comm / protocol byte split"):
+        assert section in html, section
+
+
+def test_gantt_svg_lane_labels_and_hover(cholesky_run):
+    svg = gantt_svg(cholesky_run, crit_labels=set())
+    assert svg.count("<svg") == 1
+    assert "r0 w0" in svg            # worker lane label
+    assert "<title>" in svg          # hover tooltips
+    assert "am-server" in svg        # comm lane label
+
+
+def test_protocol_bytes_split(cholesky_run):
+    split = protocol_bytes(cholesky_run)
+    assert split, "2-rank run must move bytes"
+    assert all(isinstance(v, int) and v > 0 for v in split.values())
+
+
+def test_sparkline_and_empty_inputs():
+    assert "<svg" in sparkline_svg([(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)])
+    assert sparkline_svg([]) == ""
+
+
+def test_trend_chart_from_history(tmp_path):
+    h = BenchHistory("potrf")
+    for seed, ms in enumerate((0.010, 0.011, 0.0105)):
+        h.append(BenchRecord(app="potrf", config={"n": 1024}, seed=seed,
+                             makespan=ms, gflops=100.0, baseline=(seed == 0)))
+    svg = trend_svg(h)
+    assert "<svg" in svg and "potrf" not in svg.lower().replace("potrf", "", 1)
+
+    h.save(directory=str(tmp_path))
+    histories = load_histories(str(tmp_path))
+    assert len(histories) == 1 and histories[0].app == "potrf"
+
+
+def test_report_embeds_history_trends(cholesky_run, tmp_path):
+    h = BenchHistory("potrf")
+    h.append(BenchRecord(app="potrf", config={"n": 1024}, makespan=0.01,
+                         gflops=100.0, baseline=True))
+    h.save(directory=str(tmp_path))
+    html = render_report(cholesky_run, histories=load_histories(str(tmp_path)))
+    assert "Benchmark history" in html
+    assert "<b>potrf</b> makespan" in html
+
+
+def test_load_histories_skips_corrupt_files(tmp_path):
+    (tmp_path / "BENCH_bad.json").write_text("{not json")
+    (tmp_path / "BENCH_other.json").write_text(json.dumps({"schema": "nope"}))
+    assert load_histories(str(tmp_path)) == []
+
+
+def test_write_report_html_and_cli(cholesky_run, tmp_path, capsys):
+    log = tmp_path / "run.jsonl"
+    write_jsonl(str(log), cholesky_run)
+
+    out = tmp_path / "report.html"
+    nbytes = write_report_html(str(out), cholesky_run)
+    assert nbytes == out.stat().st_size > 1000
+
+    # Same through the CLI, reading the JSONL log back.
+    out2 = tmp_path / "report2.html"
+    code = telemetry_main(["report-html", str(log), "-o", str(out2),
+                           "--title", "cli report"])
+    assert code == 0
+    html = out2.read_text()
+    assert "cli report" in html and 'class="crit"' in html
+    assert not re.search(r'(src|href)\s*=\s*"https?://', html)
+
+
+def test_report_warns_on_dropped_events():
+    tel = Telemetry(nranks=1, capacity=4)
+    for i in range(32):
+        tel.bus.complete("T", 0, 0, float(i), float(i) + 0.5, cat="task",
+                         args={"key": repr(i), "template": "T"})
+    assert sum(tel.bus.dropped) > 0
+    html = render_report(tel)
+    assert "evicted" in html or "dropped" in html
