@@ -13,9 +13,12 @@ The benchmark-history watchdog (no experiment argument needed):
     python -m repro.bench --record-history --update-baseline
     python -m repro.bench --check-regressions            # exit 1 on regression
     python -m repro.bench --check-regressions --record-history --seeds 0,1,2
+    python -m repro.bench --record-history --engine sharded --parallel 4
 
 History lives in ``BENCH_<app>.json`` files (``--history-dir``, default the
-current directory); see :mod:`repro.bench.history`.
+current directory); see :mod:`repro.bench.history`.  The append-only files
+are compacted with ``python -m repro.bench prune --keep 50``, and the event
+engines are compared on host time with ``python -m repro.bench engine-bench``.
 """
 
 from __future__ import annotations
@@ -26,7 +29,9 @@ from typing import Callable, Dict, List, Optional
 
 from repro.bench import figures, history
 from repro.bench.harness import print_series, print_table, write_telemetry_bundle
+from repro.bench.parallel import default_processes
 from repro.bench.plot import print_chart
+from repro.sim.sharded import ENGINE_KINDS
 
 _FIGS: Dict[str, Callable] = {
     "fig5": figures.fig5_potrf_weak,
@@ -85,6 +90,49 @@ def _parse_apps(text: str) -> List[str]:
     return apps
 
 
+def run_prune(args: argparse.Namespace) -> int:
+    """``prune``: compact the append-only BENCH_<app>.json files."""
+    total = 0
+    for app in args.apps:
+        path = history.BenchHistory.path_for(app, args.history_dir)
+        if not path.exists():
+            print(f"{path}: no history, skipped")
+            continue
+        hist = history.BenchHistory.load(path)
+        dropped = hist.prune(args.keep, keep_baselines=not args.drop_old_baselines)
+        hist.save(path)
+        print(f"{path}: dropped {dropped} record(s), kept {len(hist)}")
+        total += dropped
+    print(f"pruned {total} record(s) total (keep={args.keep} per config group)")
+    return 0
+
+
+def run_engine_bench(args: argparse.Namespace) -> int:
+    """``engine-bench``: host-time comparison of the event engines."""
+    from repro.bench.parallel import engine_benchmark
+
+    results = engine_benchmark(
+        engines=tuple(args.engines.split(",")),
+        app=args.apps[0],
+        seeds=args.seeds,
+        parallel=args.parallel,
+    )
+    print(f"engine benchmark: app={args.apps[0]} seeds={args.seeds}")
+    for kind, row in results.items():
+        print(f"  {kind:<8} host={row['host_seconds']:8.3f}s  "
+              f"makespan={row['makespan']:.6g}s  "
+              f"speedup={row['speedup']:.2f}x")
+    if args.output:
+        import json
+
+        with open(args.output, "w") as fh:
+            json.dump({"app": args.apps[0], "seeds": list(args.seeds),
+                       "engines": results}, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def run_watchdog_cli(args: argparse.Namespace) -> int:
     """--record-history / --check-regressions / --update-baseline."""
     reports, written = history.run_watchdog(
@@ -96,6 +144,8 @@ def run_watchdog_cli(args: argparse.Namespace) -> int:
         update_baseline=args.update_baseline,
         thresholds={"makespan": args.threshold, "gflops": args.threshold}
         if args.threshold is not None else None,
+        engine=args.engine,
+        parallel=args.parallel,
     )
     for report in reports:
         print(report.format())
@@ -120,8 +170,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment", nargs="?", default=None,
-        choices=["table1", *sorted(_FIGS), "all"],
-        help="which experiment to run (omit when using the watchdog flags)",
+        choices=["table1", *sorted(_FIGS), "all", "prune", "engine-bench"],
+        help="which experiment to run (omit when using the watchdog flags); "
+        "'prune' compacts the history files, 'engine-bench' compares the "
+        "event engines on host time",
     )
     parser.add_argument(
         "--max-nodes", type=int, default=None,
@@ -153,8 +205,31 @@ def main(argv=None) -> int:
                     "already stored after the baseline window")
     wd.add_argument("--threshold", type=float, default=None, metavar="FRAC",
                     help="relative regression tolerance (default 0.10)")
+    wd.add_argument("--engine", default="seq", choices=list(ENGINE_KINDS),
+                    help="event engine inside each simulation (default seq); "
+                    "'mp' also implies run-level process parallelism")
+    wd.add_argument("--parallel", type=int, default=0, metavar="N",
+                    help="fan the (app, seed) matrix cells out over N worker "
+                    "processes (0 = inline; implied by --engine mp)")
+    wd.add_argument("--keep", type=int, default=50, metavar="N",
+                    help="prune: non-baseline records to keep per config "
+                    "group (default 50)")
+    wd.add_argument("--drop-old-baselines", action="store_true",
+                    help="prune: also drop baselines superseded by a newer "
+                    "baseline sweep")
+    wd.add_argument("--engines", default="seq,sharded", metavar="A,B",
+                    help="engine-bench: engine kinds to compare "
+                    "(default seq,sharded)")
+    wd.add_argument("--output", default=None, metavar="OUT.json",
+                    help="engine-bench: also write the comparison as JSON")
     args = parser.parse_args(argv)
+    if args.engine == "mp" and args.parallel == 0:
+        args.parallel = default_processes()
 
+    if args.experiment == "prune":
+        return run_prune(args)
+    if args.experiment == "engine-bench":
+        return run_engine_bench(args)
     watchdog = args.record_history or args.check_regressions or args.update_baseline
     if args.experiment is None and not watchdog:
         parser.error("give an experiment, or one of --record-history / "

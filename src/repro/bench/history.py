@@ -28,20 +28,32 @@ CLI (see ``python -m repro.bench --help``)::
 from __future__ import annotations
 
 import json
-import math
 import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 SCHEMA = "repro.bench/history"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Relative tolerance per gated metric (fraction of the baseline median).
-DEFAULT_THRESHOLDS: Dict[str, float] = {"makespan": 0.10, "gflops": 0.10}
+DEFAULT_THRESHOLDS: Dict[str, float] = {
+    "makespan": 0.10,
+    "gflops": 0.10,
+    "bytes_by_protocol.splitmd": 0.25,
+    "bytes_by_protocol.eager": 0.25,
+}
 
 #: Metrics the watchdog gates on, with the direction that is "better".
-GATED_METRICS: Dict[str, str] = {"makespan": "lower", "gflops": "higher"}
+#: Dotted names index into a record's dict fields; the protocol split is
+#: gated so a serialization regression (splitmd traffic silently falling
+#: back to eager) fails CI even when the makespan barely moves.
+GATED_METRICS: Dict[str, str] = {
+    "makespan": "lower",
+    "gflops": "higher",
+    "bytes_by_protocol.splitmd": "higher",
+    "bytes_by_protocol.eager": "lower",
+}
 
 #: MAD -> sigma consistency constant for normal data.
 _MAD_SIGMA = 1.4826
@@ -80,6 +92,13 @@ class BenchRecord:
     counters: Dict[str, float] = field(default_factory=dict)
     git_sha: str = ""
     baseline: bool = False
+    # v3: the host wall-clock cost of producing this record and the event
+    # engine that produced it.  Virtual-time metrics are engine-invariant
+    # (the sharded engine replays the sequential order bit-for-bit), so
+    # the engine deliberately stays OUT of config_key -- records from any
+    # engine remain comparable against the stored baselines.
+    host_seconds: float = 0.0
+    engine: str = "seq"
 
     @property
     def config_key(self) -> str:
@@ -88,6 +107,11 @@ class BenchRecord:
         return f"{self.backend}|{cfg}"
 
     def metric(self, name: str) -> float:
+        """Metric by name; dotted names index into dict fields, e.g.
+        ``bytes_by_protocol.splitmd`` (missing keys read as 0.0)."""
+        if "." in name:
+            attr, key = name.split(".", 1)
+            return float(getattr(self, attr).get(key, 0.0))
         return float(getattr(self, name))
 
     def as_dict(self) -> Dict[str, Any]:
@@ -106,6 +130,8 @@ class BenchRecord:
             "counters": dict(self.counters),
             "git_sha": self.git_sha,
             "baseline": self.baseline,
+            "host_seconds": self.host_seconds,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -125,6 +151,8 @@ class BenchRecord:
             counters=dict(obj.get("counters", {})),
             git_sha=obj.get("git_sha", ""),
             baseline=bool(obj.get("baseline", False)),
+            host_seconds=float(obj.get("host_seconds", 0.0)),
+            engine=obj.get("engine", "seq"),
         )
 
 
@@ -141,9 +169,20 @@ def _migrate_v1(payload: Dict[str, Any]) -> Dict[str, Any]:
     return payload
 
 
+def _migrate_v2(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """v2 -> v3: records gained the host wall-clock cost and the event
+    engine that produced them (pre-v3 runs were all sequential)."""
+    for rec in payload.get("records", []):
+        rec.setdefault("host_seconds", 0.0)
+        rec.setdefault("engine", "seq")
+    payload["version"] = 3
+    return payload
+
+
 #: version -> migration to the *next* version, applied in sequence.
 _MIGRATIONS: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     1: _migrate_v1,
+    2: _migrate_v2,
 }
 
 
@@ -229,6 +268,40 @@ class BenchHistory:
             if r.baseline:
                 last = i
         return [r for r in group[last + 1:] if not r.baseline]
+
+    def prune(self, keep: int, *, keep_baselines: bool = True) -> int:
+        """Compact the append-only history in place.
+
+        Keeps, per config group, the most recent ``keep`` non-baseline
+        records; baseline records are kept unconditionally unless
+        ``keep_baselines=False`` (then only each group's *latest* baseline
+        sweep -- the one the watchdog actually compares against -- is
+        kept).  Relative record order is preserved.  Returns the number of
+        records dropped.
+        """
+        if keep < 0:
+            raise ValueError("keep must be >= 0")
+        drop: set = set()
+        for key in self.config_keys():
+            group = [(i, r) for i, r in enumerate(self.records)
+                     if r.config_key == key]
+            nonbase = [i for i, r in group if not r.baseline]
+            drop.update(nonbase[:-keep] if keep else nonbase)
+            if not keep_baselines:
+                base = [i for i, r in group if r.baseline]
+                # The latest contiguous baseline run is the active one.
+                active: List[int] = []
+                for i in base:
+                    if active and any(
+                        not self.records[j].baseline
+                        for j in range(active[-1] + 1, i)
+                    ):
+                        active = []
+                    active.append(i)
+                drop.update(set(base) - set(active))
+        before = len(self.records)
+        self.records = [r for i, r in enumerate(self.records) if i not in drop]
+        return before - len(self.records)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -386,6 +459,22 @@ def check_history(
                 candidate_median=m_c, n_baseline=len(base),
                 n_candidate=len(cands),
             ))
+        # Host wall-clock cost: reported, never gated (CI runners and
+        # laptops are not comparable machines; the engine comparison the
+        # numbers exist for is done within one run by engine-bench).
+        if base:
+            b_host = [r.metric("host_seconds") for r in base]
+            c_host = [r.metric("host_seconds") for r in cands]
+            if any(b_host) and any(c_host):
+                m_b, m_c = median(b_host), median(c_host)
+                report.verdicts.append(MetricVerdict(
+                    history.app, key, "host_seconds",
+                    "unchanged" if m_b == m_c
+                    else ("improved" if m_c < m_b else "regressed"),
+                    baseline_median=m_b, candidate_median=m_c,
+                    n_baseline=len(base), n_candidate=len(cands),
+                    gating=False,
+                ))
         # Task counts must not drift silently within one config: report
         # (non-gating) when the candidate DAG executed a different number
         # of tasks than the baseline DAG.
@@ -439,7 +528,8 @@ class SeededBlockCyclic:
 
 def _observed_record(
     app: str, result: Any, telemetry: Any, *, config: Dict[str, Any],
-    seed: int, backend_name: str,
+    seed: int, backend_name: str, host_seconds: float = 0.0,
+    engine: str = "seq",
 ) -> BenchRecord:
     """Assemble a BenchRecord from a driver result + its telemetry."""
     from repro.telemetry import analyze
@@ -459,7 +549,7 @@ def _observed_record(
         config=dict(config),
         seed=seed,
         makespan=result.makespan,
-        gflops=result.gflops,
+        gflops=float(getattr(result, "gflops", 0.0)),
         tasks_total=int(stats.get("tasks_executed", 0)),
         tasks_by_template=dict(stats.get("tasks_by_template", {})),
         bytes_by_protocol=dict(stats.get("bytes_by_protocol", {})),
@@ -467,73 +557,182 @@ def _observed_record(
         idle_fraction=1.0 - busy / avail if avail > 0 else 0.0,
         counters=counters,
         git_sha=git_sha(),
+        host_seconds=host_seconds,
+        engine=engine,
     )
+
+
+def _instrumented_cluster(nodes: int, workers: int, engine: str):
+    """(cluster, telemetry) pair for one watchdog measurement."""
+    from repro.sim.cluster import Cluster, HAWK
+    from repro.telemetry import Telemetry
+
+    tel = Telemetry(nranks=nodes, capacity=None)
+    cluster = Cluster.with_engine(HAWK.with_workers(workers), nodes,
+                                  engine=engine)
+    return cluster, tel
 
 
 def measure_potrf(
     seed: int = 0, *, nodes: int = 4, n: int = 1024, b: int = 128,
-    workers: int = 4,
+    workers: int = 4, engine: str = "seq",
 ) -> BenchRecord:
     """One telemetry-instrumented POTRF run on the scaled Hawk machine."""
+    from time import perf_counter
+
     from repro.apps.cholesky import cholesky_ttg
     from repro.linalg import TiledMatrix
     from repro.runtime import ParsecBackend
-    from repro.sim.cluster import Cluster, HAWK
-    from repro.telemetry import Telemetry
 
     a = TiledMatrix(n, b, SeededBlockCyclic.for_ranks(nodes, seed), synthetic=True)
-    tel = Telemetry(nranks=nodes, capacity=None)
-    backend = ParsecBackend(Cluster(HAWK.with_workers(workers), nodes),
-                            telemetry=tel)
+    cluster, tel = _instrumented_cluster(nodes, workers, engine)
+    backend = ParsecBackend(cluster, telemetry=tel)
+    t0 = perf_counter()
     res = cholesky_ttg(a, backend)
+    host = perf_counter() - t0
     config = {"machine": "hawk", "nodes": nodes, "workers": workers,
               "n": n, "b": b}
     return _observed_record("potrf", res, tel, config=config, seed=seed,
-                            backend_name="parsec")
+                            backend_name="parsec", host_seconds=host,
+                            engine=engine)
 
 
 def measure_fw(
     seed: int = 0, *, nodes: int = 4, n: int = 896, b: int = 128,
-    workers: int = 4,
+    workers: int = 4, engine: str = "seq",
 ) -> BenchRecord:
     """One telemetry-instrumented FW-APSP run on the scaled Hawk machine."""
+    from time import perf_counter
+
     from repro.apps.floydwarshall import floyd_warshall_ttg
     from repro.linalg import TiledMatrix
     from repro.runtime import ParsecBackend
-    from repro.sim.cluster import Cluster, HAWK
-    from repro.telemetry import Telemetry
 
     w = TiledMatrix(n, b, SeededBlockCyclic.for_ranks(nodes, seed), synthetic=True)
-    tel = Telemetry(nranks=nodes, capacity=None)
-    backend = ParsecBackend(Cluster(HAWK.with_workers(workers), nodes),
-                            telemetry=tel)
+    cluster, tel = _instrumented_cluster(nodes, workers, engine)
+    backend = ParsecBackend(cluster, telemetry=tel)
+    t0 = perf_counter()
     res = floyd_warshall_ttg(w, backend)
+    host = perf_counter() - t0
     config = {"machine": "hawk", "nodes": nodes, "workers": workers,
               "n": n, "b": b}
     return _observed_record("fw", res, tel, config=config, seed=seed,
-                            backend_name="parsec")
+                            backend_name="parsec", host_seconds=host,
+                            engine=engine)
+
+
+def measure_bspmm(
+    seed: int = 0, *, nodes: int = 4, natoms: int = 30, target_tile: int = 24,
+    workers: int = 4, engine: str = "seq",
+) -> BenchRecord:
+    """One block-sparse SUMMA (BSPMM) run on a Yukawa-structured matrix.
+
+    The atom layout is seeded, so the seed sweep perturbs the sparsity
+    pattern (and thus the communication volume) rather than the tile map.
+    """
+    from time import perf_counter
+
+    from repro.apps.bspmm import bspmm_ttg
+    from repro.linalg import yukawa_blocksparse
+    from repro.runtime import ParsecBackend
+
+    a = yukawa_blocksparse(natoms, target_tile=target_tile, seed=seed)
+    cluster, tel = _instrumented_cluster(nodes, workers, engine)
+    backend = ParsecBackend(cluster, telemetry=tel)
+    t0 = perf_counter()
+    res = bspmm_ttg(a, a, backend)
+    host = perf_counter() - t0
+    config = {"machine": "hawk", "nodes": nodes, "workers": workers,
+              "natoms": natoms, "tile": target_tile}
+    return _observed_record("bspmm", res, tel, config=config, seed=seed,
+                            backend_name="parsec", host_seconds=host,
+                            engine=engine)
+
+
+def measure_mra(
+    seed: int = 0, *, nodes: int = 4, nfuncs: int = 8, k: int = 4,
+    workers: int = 4, engine: str = "seq",
+) -> BenchRecord:
+    """One MRA (project/compress/reconstruct/norm) run over a seeded batch
+    of sharp Gaussians (no Gflop/s figure: the workload is tree-structured,
+    so only makespan/task/byte metrics are gated)."""
+    from time import perf_counter
+
+    from repro.apps.mra import mra_ttg, random_gaussians
+    from repro.runtime import ParsecBackend
+
+    functions = random_gaussians(nfuncs, seed=seed)
+    cluster, tel = _instrumented_cluster(nodes, workers, engine)
+    backend = ParsecBackend(cluster, telemetry=tel)
+    t0 = perf_counter()
+    res = mra_ttg(functions, backend, k=k, thresh=1.0e-4, max_level=6)
+    host = perf_counter() - t0
+    config = {"machine": "hawk", "nodes": nodes, "workers": workers,
+              "nfuncs": nfuncs, "k": k}
+    return _observed_record("mra", res, tel, config=config, seed=seed,
+                            backend_name="parsec", host_seconds=host,
+                            engine=engine)
 
 
 #: The default watchdog matrix: app -> measurement function of one seed.
 MEASUREMENTS: Dict[str, Callable[..., BenchRecord]] = {
     "potrf": measure_potrf,
     "fw": measure_fw,
+    "bspmm": measure_bspmm,
+    "mra": measure_mra,
 }
+
+
+def measure_cell(spec: Dict[str, Any]) -> BenchRecord:
+    """Measure one (app, seed) cell described by a plain dict.
+
+    Module-level and driven by picklable inputs/outputs, so it can cross a
+    process boundary: :func:`repro.bench.parallel.run_cells` maps a list
+    of these specs over a worker pool.  ``spec`` must contain ``app`` and
+    ``seed``; every other key is passed to the measurement function.
+    """
+    spec = dict(spec)
+    app = spec.pop("app")
+    seed = spec.pop("seed", 0)
+    fn = MEASUREMENTS.get(app)
+    if fn is None:
+        raise ValueError(
+            f"unknown watchdog app {app!r} (have: {sorted(MEASUREMENTS)})"
+        )
+    return fn(seed, **spec)
 
 
 def measure_matrix(
     apps: Sequence[str] = ("potrf", "fw"),
     seeds: Sequence[int] = (0, 1, 2),
+    *,
+    engine: str = "seq",
+    parallel: int = 0,
 ) -> Dict[str, List[BenchRecord]]:
-    """Seed-swept measurements of the watchdog matrix, grouped by app."""
-    out: Dict[str, List[BenchRecord]] = {}
+    """Seed-swept measurements of the watchdog matrix, grouped by app.
+
+    ``engine`` selects the event engine inside each simulation;
+    ``parallel > 1`` additionally fans the (app, seed) cells out over that
+    many worker processes (run-granularity host parallelism -- see
+    :mod:`repro.bench.parallel`; results are deterministic and ordered
+    regardless).
+    """
     for app in apps:
-        fn = MEASUREMENTS.get(app)
-        if fn is None:
+        if app not in MEASUREMENTS:
             raise ValueError(
                 f"unknown watchdog app {app!r} (have: {sorted(MEASUREMENTS)})"
             )
-        out[app] = [fn(seed) for seed in seeds]
+    cells = [{"app": app, "seed": seed, "engine": engine}
+             for app in apps for seed in seeds]
+    if parallel > 1:
+        from repro.bench.parallel import run_cells
+
+        records = run_cells(cells, processes=parallel)
+    else:
+        records = [measure_cell(c) for c in cells]
+    out: Dict[str, List[BenchRecord]] = {app: [] for app in apps}
+    for rec in records:
+        out[rec.app].append(rec)
     return out
 
 
@@ -546,6 +745,8 @@ def run_watchdog(
     record: bool = False,
     update_baseline: bool = False,
     thresholds: Optional[Dict[str, float]] = None,
+    engine: str = "seq",
+    parallel: int = 0,
 ) -> Tuple[List[RegressionReport], List[Path]]:
     """The full record / baseline / check cycle the CLI drives.
 
@@ -553,9 +754,11 @@ def run_watchdog(
       candidates (plus any trailing non-baseline records already stored).
     - ``record``: append the fresh records to the ``BENCH_*.json`` files.
     - ``update_baseline``: mark the fresh records as baseline.
+    - ``engine`` / ``parallel``: forwarded to :func:`measure_matrix`.
     Returns the per-app reports and the paths written (if any).
     """
-    fresh = measure_matrix(apps, seeds) if measure else {a: [] for a in apps}
+    fresh = (measure_matrix(apps, seeds, engine=engine, parallel=parallel)
+             if measure else {a: [] for a in apps})
     reports: List[RegressionReport] = []
     written: List[Path] = []
     for app in apps:

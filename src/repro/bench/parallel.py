@@ -1,0 +1,133 @@
+"""Run-granularity host parallelism for the benchmark matrix.
+
+Why run granularity and not event granularity: simulated event callbacks
+are Python closures over shared runtime state (worker pools, the NIC
+model, termination counters), so a single simulation cannot be split
+across processes without serializing that state on every event -- the
+coordination would cost more than the work.  What *is* embarrassingly
+parallel is the benchmark matrix itself: every (app, seed, config) cell
+is an independent, deterministic simulation whose input spec and output
+:class:`~repro.bench.history.BenchRecord` are plain picklable data.  The
+``mp`` engine kind therefore means "sharded engine inside each process,
+process pool across matrix cells".
+
+The pool degrades gracefully: sandboxes without working POSIX semaphores
+(``sem_open`` returning ``EPERM``) and single-core hosts fall back to
+inline execution, preserving results exactly (cells are deterministic, so
+parallel and inline runs return identical records in identical order;
+only ``host_seconds`` differs).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.bench.history import BenchRecord, measure_cell
+
+
+def default_processes() -> int:
+    """Worker count: one per available core, at least 1."""
+    try:
+        ncpu = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        ncpu = os.cpu_count() or 1
+    return max(1, ncpu)
+
+
+def _pool_usable(processes: int) -> bool:
+    """Probe whether a process pool can exist here at all.
+
+    Creating a multiprocessing primitive is the cheapest way to find out:
+    restricted sandboxes fail at ``sem_open`` with ``EPERM``/``ENOSYS``
+    long before any worker runs.
+    """
+    if processes <= 1:
+        return False
+    try:
+        mp.get_context("fork" if "fork" in mp.get_all_start_methods()
+                       else None).Semaphore(1)
+    except (OSError, PermissionError, ValueError):
+        return False
+    return True
+
+
+def run_cells(
+    cells: Sequence[Dict[str, Any]],
+    processes: Optional[int] = None,
+    *,
+    chunksize: int = 1,
+) -> List[BenchRecord]:
+    """Measure every cell spec (see ``measure_cell``), possibly in parallel.
+
+    Results come back in input order no matter how the pool schedules
+    them, so downstream grouping and the watchdog see the same sequence an
+    inline run would produce.  Falls back to inline execution when the
+    host cannot run a pool (no usable semaphores, one core, one cell).
+    """
+    cells = list(cells)
+    n = default_processes() if processes is None else processes
+    n = min(n, len(cells))
+    if len(cells) < 2 or not _pool_usable(n):
+        return [measure_cell(c) for c in cells]
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods()
+                         else None)
+    try:
+        with ctx.Pool(n) as pool:
+            return pool.map(measure_cell, cells, chunksize=chunksize)
+    except (OSError, PermissionError):
+        # The probe passed but the pool still failed (e.g. fork limits):
+        # the cells are deterministic, so inline execution is equivalent.
+        return [measure_cell(c) for c in cells]
+
+
+# ------------------------------------------------------------ engine bench
+
+
+def engine_benchmark(
+    engines: Sequence[str] = ("seq", "sharded"),
+    *,
+    app: str = "potrf",
+    seeds: Sequence[int] = (0,),
+    parallel: int = 0,
+    **cell_kwargs: Any,
+) -> Dict[str, Dict[str, float]]:
+    """Host-time comparison of the event engines on one watchdog app.
+
+    Runs the same (app, seed) cells once per engine kind and reports, per
+    engine: total host seconds, the virtual makespan (identical across
+    engines by the determinism guarantee -- a mismatch here is a bug, and
+    is raised), and the speedup over the first engine listed.  ``mp``
+    additionally fans the cells out over ``parallel`` worker processes
+    (default: one per core).
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    reference: Optional[List[float]] = None
+    base_host: Optional[float] = None
+    for kind in engines:
+        cells = [dict(cell_kwargs, app=app, seed=s, engine=kind)
+                 for s in seeds]
+        t0 = time.perf_counter()
+        if kind == "mp":
+            records = run_cells(cells, processes=parallel or None)
+        else:
+            records = [measure_cell(c) for c in cells]
+        host = time.perf_counter() - t0
+        makespans = [r.makespan for r in records]
+        if reference is None:
+            reference = makespans
+        elif makespans != reference:
+            raise AssertionError(
+                f"engine {kind!r} diverged from {engines[0]!r}: "
+                f"{makespans} != {reference}"
+            )
+        if base_host is None:
+            base_host = host
+        results[kind] = {
+            "host_seconds": host,
+            "makespan": makespans[0],
+            "speedup": base_host / host if host > 0 else 0.0,
+        }
+    return results

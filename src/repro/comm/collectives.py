@@ -57,7 +57,8 @@ class Collectives:
             tel.bus.instant("barrier", min(ranks, default=0), TID_RT,
                             cat="coll", nranks=len(ranks), duration=delay)
             tel.metrics.counter("collectives", op="barrier").inc()
-        self.engine.schedule(delay, on_release)
+        self.engine.schedule(delay, on_release,
+                             rank=min(ranks, default=None))
 
     def bcast(
         self,
@@ -98,4 +99,4 @@ class Collectives:
             tel.metrics.counter("collective_bytes", op="bcast").inc(
                 nbytes * len(order))
         for dst, s in order:
-            self.engine.schedule(s * t_hop, deliver, dst)
+            self.engine.schedule(s * t_hop, deliver, dst, rank=dst)

@@ -92,7 +92,7 @@ class CommEngine:
             tel.metrics.counter("am", dst=dst).inc()
             tel.metrics.counter("am_bytes", dst=dst).inc(nbytes)
             tel.metrics.histogram("am_latency", dst=dst).observe(done - t_sent)
-        self.engine.schedule_at(done, handler, *args)
+        self.engine.schedule_at(done, handler, *args, rank=dst)
 
     # ------------------------------------------------------------------ RMA
 
@@ -124,4 +124,4 @@ class CommEngine:
             )
             tel.metrics.counter("rma_gets", origin=origin).inc()
             tel.metrics.counter("rma_get_bytes", origin=origin).inc(nbytes)
-        self.engine.schedule_at(done, on_complete, *args)
+        self.engine.schedule_at(done, on_complete, *args, rank=origin)

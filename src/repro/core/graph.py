@@ -228,7 +228,8 @@ class Executable:
                 "dep", 0, TID_RT, cat="dep", src="<external>",
                 dst=f"{tt.name}[{key!r}]", edge=term.edge.name,
             )
-        self.backend.post_local(self._deliver, tt, term.index, key, value)
+        self.backend.post_local(self._deliver, tt, term.index, key, value,
+                                rank=tt.keymap(key, self.nranks))
 
     def fence(self, max_events: Optional[int] = None) -> float:
         """Drain all tasks and messages; returns the makespan."""
@@ -275,7 +276,8 @@ class Executable:
             if dst == src_rank:
                 backend.stats.local_deliveries += 1
                 v2, delay = backend.maybe_copy_local(value, mode)
-                backend.post_local(self._deliver, ctt, cidx, key, v2, delay=delay)
+                backend.post_local(self._deliver, ctt, cidx, key, v2,
+                                   delay=delay, rank=dst)
             elif value is None:
                 backend.send_control(
                     src_rank, dst, _Deliver1(self, ctt, cidx, key)
@@ -337,8 +339,10 @@ class Executable:
             if dst == src_rank:
                 backend.stats.local_deliveries += len(targets)
                 v2, delay = backend.maybe_copy_local(value, mode)
-                for ctt, cidx, k in targets:
-                    backend.post_local(self._deliver, ctt, cidx, k, v2, delay=delay)
+                # One heap entry for the whole same-timestamp fan-out.
+                backend.post_local_batch(
+                    [(self._deliver, (ctt, cidx, k, v2)) for ctt, cidx, k in targets],
+                    delay=delay, rank=dst)
             else:
                 backend.stats.broadcast_payloads_sent += 1
                 if value is None:
@@ -481,7 +485,8 @@ class Executable:
         for ctt, cidx in term.edge.consumers:
             dst = ctt.keymap(key, self.nranks)
             if dst == src_rank:
-                self.backend.post_local(self.set_argstream_size, ctt, cidx, key, size)
+                self.backend.post_local(self.set_argstream_size, ctt, cidx,
+                                        key, size, rank=dst)
             else:
                 self.backend.send_control(
                     src_rank, dst, _SetSize(self, ctt, cidx, key, size)
@@ -491,7 +496,8 @@ class Executable:
         for ctt, cidx in term.edge.consumers:
             dst = ctt.keymap(key, self.nranks)
             if dst == src_rank:
-                self.backend.post_local(self.finalize_argstream, ctt, cidx, key)
+                self.backend.post_local(self.finalize_argstream, ctt, cidx,
+                                        key, rank=dst)
             else:
                 self.backend.send_control(
                     src_rank, dst, _Finalize(self, ctt, cidx, key)

@@ -215,7 +215,8 @@ class WorkerPool:
             worker = self._idle.pop()
             start = engine.now
             duration = self._node.compute_time(task.flops, task.bytes_moved)
-            engine.schedule_at(start + duration, self._complete, task, worker, start)
+            engine.schedule_at(start + duration, self._complete, task, worker,
+                               start, rank=self.rank)
         while self._gpu_idle and self._gpu_queue:
             task = self._gpu_queue.pop()
             slot = self._gpu_idle.pop()
@@ -224,7 +225,8 @@ class WorkerPool:
             self.gpu_transfer_bytes += transfer
             duration = self._node.gpu_compute_time(task.flops, transfer)
             engine.schedule_at(
-                start + duration, self._complete_gpu, task, slot, start
+                start + duration, self._complete_gpu, task, slot, start,
+                rank=self.rank
             )
 
     def _record_task(self, backend: "Backend", name: str, task: _ReadyTask,
@@ -252,7 +254,7 @@ class WorkerPool:
             task.fn()
         finally:
             self._idle.append(worker)
-            backend.termination.task_retired()
+            backend.termination.task_retired(self.rank)
             self._dispatch()
 
     def _complete_gpu(self, task: _ReadyTask, slot: int, start: float) -> None:
@@ -267,7 +269,7 @@ class WorkerPool:
             task.fn()
         finally:
             self._gpu_idle.append(slot)
-            backend.termination.task_retired()
+            backend.termination.task_retired(self.rank)
             self._dispatch()
 
 
@@ -295,6 +297,10 @@ class Backend:
         # None => the default path pays one attribute load + branch.
         self.telemetry = None
         self.termination = TerminationDetector()
+        # Sharded engines get per-rank conservation ledgers so quiescence
+        # can be attributed to individual shards in diagnostics.
+        if getattr(self.engine, "nshards", 0) > 1:
+            self.termination.track_ranks(cluster.nranks)
         base_am = cluster.machine.network.am_overhead
         per_byte = self.config.am_cost_per_byte
         self.comm = CommEngine(
@@ -350,27 +356,60 @@ class Backend:
         """Enqueue a ready task on ``rank``'s worker pool (or its device
         queue when ``device == 'gpu'``; ``inputs`` feed the residency
         tracker for PCIe-transfer accounting)."""
-        self.termination.task_created()
+        self.termination.task_created(rank)
         self.pools[rank].submit(
             _ReadyTask(fn, flops, bytes_moved, priority, name, key, device, inputs)
         )
 
-    def post_local(self, fn: Callable[..., None], *args: Any, delay: float = 0.0) -> None:
+    def post_local(self, fn: Callable[..., None], *args: Any,
+                   delay: float = 0.0, rank: Optional[int] = None) -> None:
         """Run ``fn`` after the current event (plus ``delay``).
 
         Used for rank-local message delivery so that all sends made by a
         task body take effect after the body returns, in send order; the
-        delay charges local copy costs.
+        delay charges local copy costs.  ``rank`` is a shard-routing hint
+        for sharded engines (the rank on which the delivery logically
+        happens); the sequential engine ignores it.
         """
-        self.termination.task_created()
+        self.termination.task_created(rank)
 
         def _run() -> None:
             try:
                 fn(*args)
             finally:
-                self.termination.task_retired()
+                self.termination.task_retired(rank)
 
-        self.engine.schedule(delay, _run)
+        self.engine.schedule(delay, _run, rank=rank)
+
+    def post_local_batch(
+        self,
+        calls: "list[Tuple[Callable[..., None], tuple]]",
+        *,
+        delay: float = 0.0,
+        rank: Optional[int] = None,
+    ) -> None:
+        """Post several local deliveries due at the same instant.
+
+        Semantically identical to calling :meth:`post_local` once per
+        ``(fn, args)`` pair, but the whole burst costs one heap entry in
+        the event engine (broadcast fan-out posts dozens of same-timestamp
+        deliveries; see :meth:`repro.sim.engine.Engine.schedule_batch`).
+        """
+        if not calls:
+            return
+        term = self.termination
+        wrapped = []
+        for fn, args in calls:
+            term.task_created(rank)
+
+            def _run(fn=fn, args=args) -> None:
+                try:
+                    fn(*args)
+                finally:
+                    term.task_retired(rank)
+
+            wrapped.append((_run, ()))
+        self.engine.schedule_batch(delay, wrapped, rank=rank)
 
     # -------------------------------------------------------------- messages
 
@@ -394,7 +433,7 @@ class Backend:
         self, src: int, dst: int, on_deliver: Callable[[], None], nbytes: int = CONTROL_BYTES
     ) -> None:
         """Small control-only active message (task id, no data)."""
-        self.termination.message_sent()
+        self.termination.message_sent(src)
         self.stats.remote_messages += 1
         self.stats.remote_bytes += nbytes
         proto_stats = self.stats.bytes_by_protocol
@@ -406,7 +445,7 @@ class Backend:
             tel.metrics.counter("message_bytes", protocol="control").inc(nbytes)
 
         def _handler() -> None:
-            self.termination.message_delivered()
+            self.termination.message_delivered(dst)
             on_deliver()
 
         self.comm.send_am(src, dst, nbytes, _handler, tag="ctrl")
@@ -433,7 +472,7 @@ class Backend:
         msg = proto.serialize(value)
         msg.eager_bytes += extra_bytes
         node = self.cluster.node
-        self.termination.message_sent()
+        self.termination.message_sent(src)
         self.stats.remote_messages += 1
         self.stats.remote_bytes += msg.total_bytes
         proto_stats = self.stats.bytes_by_protocol
@@ -486,7 +525,7 @@ class Backend:
                     self.comm.send_am(
                         dst, src, CONTROL_BYTES, self._release_handle, handle, tag="rel"
                     )
-                    self.termination.message_delivered()
+                    self.termination.message_delivered(dst)
                     on_deliver(obj)
 
                 self.rma.get(dst, handle, _on_payload)
@@ -502,13 +541,15 @@ class Backend:
                     self.stats.copy_bytes += recv_copy
 
                 def _deliver() -> None:
-                    self.termination.message_delivered()
+                    self.termination.message_delivered(dst)
                     on_deliver(proto.deserialize(msg))
 
                 if server_time > 0.0:
                     _deliver()  # copy time already occupied the AM server
                 else:
-                    self.engine.schedule(node.copy_time(recv_copy) if recv_copy else 0.0, _deliver)
+                    self.engine.schedule(
+                        node.copy_time(recv_copy) if recv_copy else 0.0,
+                        _deliver, rank=dst)
 
             self.comm.send_am(
                 src,

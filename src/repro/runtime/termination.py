@@ -45,27 +45,51 @@ class TerminationDetector:
         # instant events on the runtime timeline.
         self.telemetry = None
         self._epochs = 0
+        # Optional per-rank ledger (track_ranks): rows of
+        # [messages_sent_from, messages_delivered_at, tasks_created_on,
+        # tasks_retired_on].  Off by default -- the hooks then cost one
+        # branch -- and armed by shard-aware diagnostics (sharded-engine
+        # runs report per-shard quiescence from this ledger).
+        self._by_rank: Optional[List[List[int]]] = None
+
+    def track_ranks(self, nranks: int) -> None:
+        """Arm the per-rank ledger for ``nranks`` simulated ranks."""
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        self._by_rank = [[0, 0, 0, 0] for _ in range(nranks)]
 
     # ------------------------------------------------------------ accounting
 
-    def message_sent(self) -> None:
+    def message_sent(self, rank: Optional[int] = None) -> None:
         self.messages_sent += 1
         self._armed = True
+        br = self._by_rank
+        if br is not None and rank is not None:
+            br[rank][0] += 1
 
-    def message_delivered(self) -> None:
+    def message_delivered(self, rank: Optional[int] = None) -> None:
         self.messages_delivered += 1
         if self.messages_delivered > self.messages_sent:
             raise TerminationError("more messages delivered than sent")
+        br = self._by_rank
+        if br is not None and rank is not None:
+            br[rank][1] += 1
         self._check()
 
-    def task_created(self) -> None:
+    def task_created(self, rank: Optional[int] = None) -> None:
         self.tasks_created += 1
         self._armed = True
+        br = self._by_rank
+        if br is not None and rank is not None:
+            br[rank][2] += 1
 
-    def task_retired(self) -> None:
+    def task_retired(self, rank: Optional[int] = None) -> None:
         self.tasks_retired += 1
         if self.tasks_retired > self.tasks_created:
             raise TerminationError("more tasks retired than created")
+        br = self._by_rank
+        if br is not None and rank is not None:
+            br[rank][3] += 1
         self._check()
 
     # ------------------------------------------------------------- queries
@@ -76,6 +100,24 @@ class TerminationDetector:
             self.messages_sent == self.messages_delivered
             and self.tasks_created == self.tasks_retired
         )
+
+    @property
+    def pending_tasks_by_rank(self) -> Optional[List[int]]:
+        """Created-minus-retired task balance per rank (``None`` unless
+        :meth:`track_ranks` was called).  Tasks retire on the rank that
+        created them, so a nonzero entry pinpoints the stuck shard."""
+        br = self._by_rank
+        if br is None:
+            return None
+        return [row[2] - row[3] for row in br]
+
+    def rank_quiescent(self, rank: int) -> bool:
+        """Whether ``rank`` has no pending tasks (per-rank ledger only
+        tracks attributed work; requires :meth:`track_ranks`)."""
+        if self._by_rank is None:
+            raise TerminationError("per-rank ledger not armed (track_ranks)")
+        row = self._by_rank[rank]
+        return row[2] == row[3]
 
     def on_quiescence(self, cb: Callable[[], None]) -> None:
         self._callbacks.append(cb)

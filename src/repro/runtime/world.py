@@ -75,7 +75,7 @@ class World:
                 self.backend.send_control(dst, src, lambda: fut.set(result))
 
         if src == dst:
-            self.backend.post_local(_invoke)
+            self.backend.post_local(_invoke, rank=dst)
         else:
             self.backend.send_control(src, dst, _invoke, nbytes=nbytes)
         return fut

@@ -17,6 +17,7 @@ Public entry points:
 """
 
 from repro.sim.engine import Engine, Event
+from repro.sim.sharded import ENGINE_KINDS, ShardedEngine, create_engine
 from repro.sim.network import NetworkModel, NetworkSpec
 from repro.sim.node import NodeSpec
 from repro.sim.cluster import Cluster, MachineSpec, HAWK, SEAWULF, machine_by_name
@@ -26,6 +27,9 @@ from repro.sim.profile import Profile, TemplateStats, RankStats
 __all__ = [
     "Engine",
     "Event",
+    "ShardedEngine",
+    "create_engine",
+    "ENGINE_KINDS",
     "NetworkModel",
     "NetworkSpec",
     "NodeSpec",

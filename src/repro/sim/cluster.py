@@ -104,7 +104,22 @@ class Cluster:
     def __post_init__(self) -> None:
         if self.nnodes < 1:
             raise ValueError("nnodes must be >= 1")
+        # Shard-capable engines bind their topology here: one shard per
+        # rank and the conservative lookahead floor from the network's
+        # minimum latency (see repro.sim.sharded).
+        bind = getattr(self.engine, "bind_topology", None)
+        if bind is not None:
+            bind(self.nnodes, self.machine.network.lookahead)
         self.network = NetworkModel(self.machine.network, self.nnodes, self.engine)
+
+    @classmethod
+    def with_engine(cls, machine: MachineSpec, nnodes: int,
+                    engine: str = "seq") -> "Cluster":
+        """Build a cluster on a named engine kind (``seq``/``sharded``/``mp``,
+        see :func:`repro.sim.sharded.create_engine`)."""
+        from repro.sim.sharded import create_engine
+
+        return cls(machine, nnodes, engine=create_engine(engine, nranks=nnodes))
 
     @property
     def node(self) -> NodeSpec:

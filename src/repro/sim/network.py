@@ -47,6 +47,16 @@ class NetworkSpec:
     am_overhead: float = 0.5e-6
     bisection_per_node: Optional[float] = None
 
+    @property
+    def lookahead(self) -> float:
+        """Static lower bound on the virtual-time distance of any
+        point-to-point cross-rank interaction: a remote message can never
+        land sooner than one wire latency after it was sent.  This is the
+        conservative window floor used by
+        :class:`repro.sim.sharded.ShardedEngine` (Chandy--Misra--Bryant
+        with a static bound, so no null messages are required)."""
+        return self.latency
+
 
 class NetworkModel:
     """Stateful network simulator bound to an :class:`Engine`.

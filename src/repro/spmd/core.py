@@ -52,7 +52,7 @@ class _Compute(_Op):
         t_flops = self.flops / (w * node.flops_per_worker)
         t_mem = self.bytes_moved / node.mem_bandwidth
         dt = max(t_flops, t_mem) + node.task_overhead
-        ex.engine.schedule(dt, ex.resume, rank, None)
+        ex.engine.schedule(dt, ex.resume, rank, None, rank=rank)
 
 
 class _Send(_Op):
@@ -72,9 +72,10 @@ class _Send(_Op):
                 except Exception:
                     nbytes = 64
         arrival = ex.cluster.network.send(rank, self.dst, nbytes)
-        ex.engine.schedule_at(arrival, ex.deliver, rank, self.dst, self.tag, self.value)
+        ex.engine.schedule_at(arrival, ex.deliver, rank, self.dst, self.tag,
+                              self.value, rank=self.dst)
         # Buffered-send semantics: the sender resumes once injected.
-        ex.engine.schedule(0.0, ex.resume, rank, None)
+        ex.engine.schedule(0.0, ex.resume, rank, None, rank=rank)
 
 
 class _Recv(_Op):
@@ -90,7 +91,7 @@ class _Recv(_Op):
     def start(self, ex: "_Executor", rank: int) -> None:
         msg = ex.match_mailbox(rank, self)
         if msg is not None:
-            ex.engine.schedule(0.0, ex.resume, rank, msg)
+            ex.engine.schedule(0.0, ex.resume, rank, msg, rank=rank)
         else:
             ex.pending_recv[rank] = self
 
@@ -252,7 +253,7 @@ class _Executor:
             waiting, self._barrier_waiting = self._barrier_waiting, []
             dt = self.cluster.network.barrier_time(self.size)
             for r in waiting:
-                self.engine.schedule(dt, self.resume, r, None)
+                self.engine.schedule(dt, self.resume, r, None, rank=r)
 
     def enter_bcast(self, rank: int, op: _Bcast) -> None:
         self._bcast_waiting.append((rank, op))
@@ -265,7 +266,7 @@ class _Executor:
             dt = self.cluster.network.bcast_time(self.size, nbytes)
             for r, o in waiting:
                 delay = 0.0 if r == o.root else dt
-                self.engine.schedule(delay, self.resume, r, root_op.value)
+                self.engine.schedule(delay, self.resume, r, root_op.value, rank=r)
 
     def enter_allreduce(self, rank: int, op: _Allreduce) -> None:
         self._allreduce_waiting.append((rank, op))
@@ -277,7 +278,7 @@ class _Executor:
             nbytes = waiting[0][1].nbytes or 64
             dt = self.cluster.network.allreduce_time(self.size, nbytes)
             for r, _ in waiting:
-                self.engine.schedule(dt, self.resume, r, result)
+                self.engine.schedule(dt, self.resume, r, result, rank=r)
 
     def enter_gather(self, rank: int, op: _Gather) -> None:
         self._gather_waiting.append((rank, op))
@@ -290,7 +291,7 @@ class _Executor:
             dt = self.cluster.network.bcast_time(self.size, nbytes)
             for r, _ in waiting:
                 self.engine.schedule(dt, self.resume, r,
-                                     values if r == root else None)
+                                     values if r == root else None, rank=r)
 
     def enter_scatter(self, rank: int, op: _Scatter) -> None:
         self._scatter_waiting.append((rank, op))
@@ -306,7 +307,7 @@ class _Executor:
             dt = self.cluster.network.bcast_time(self.size, nbytes)
             for r, o in waiting:
                 delay = 0.0 if r == o.root else dt
-                self.engine.schedule(delay, self.resume, r, values[r])
+                self.engine.schedule(delay, self.resume, r, values[r], rank=r)
 
     # ------------------------------------------------------------- results
 

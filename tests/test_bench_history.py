@@ -14,6 +14,8 @@ from repro.bench.history import (
     check_history,
     classify,
     mad,
+    measure_cell,
+    measure_matrix,
     measure_potrf,
     median,
     robust_stats,
@@ -246,3 +248,175 @@ def test_cli_check_regressions_passes_then_fails_on_injection(tmp_path, capsys):
 def test_cli_requires_experiment_or_watchdog_flag(capsys):
     with pytest.raises(SystemExit):
         bench_main([])
+
+
+# -------------------------------------------------------------- schema v3
+
+
+def test_v2_payload_migrates_to_v3(tmp_path):
+    v2 = {
+        "schema": SCHEMA,
+        "version": 2,
+        "app": "potrf",
+        "records": [{
+            "app": "potrf", "config": {"n": 1024}, "seed": 0,
+            "makespan": 0.01, "gflops": 99.0, "tasks_total": 160,
+            "tasks_by_template": {"POTRF": 8},
+            "bytes_by_protocol": {"eager": 64},
+            "critical_path_fraction": 0.5, "idle_fraction": 0.2,
+            "counters": {}, "baseline": True,
+        }],
+    }
+    p = tmp_path / "BENCH_potrf.json"
+    p.write_text(json.dumps(v2))
+    h = BenchHistory.load(p)
+    rec = h.records[0]
+    # Pre-v3 runs were all sequential and did not time the host.
+    assert rec.host_seconds == 0.0
+    assert rec.engine == "seq"
+    h.save(p)
+    assert json.loads(p.read_text())["version"] == SCHEMA_VERSION == 3
+
+
+def test_engine_and_host_seconds_excluded_from_config_key():
+    a = _rec(0.01)
+    b = _rec(0.01)
+    b.engine = "sharded"
+    b.host_seconds = 3.5
+    # Virtual metrics are engine-invariant (parity suite), so records from
+    # any engine stay comparable against the stored baselines.
+    assert a.config_key == b.config_key
+
+
+def test_dotted_metric_indexes_dict_fields():
+    r = _rec(0.01)
+    r.bytes_by_protocol = {"splitmd": 4096.0, "eager": 128.0}
+    assert r.metric("bytes_by_protocol.splitmd") == 4096.0
+    assert r.metric("bytes_by_protocol.eager") == 128.0
+    assert r.metric("bytes_by_protocol.rendezvous") == 0.0   # missing -> 0
+    assert r.metric("makespan") == 0.01
+
+
+def test_protocol_gate_catches_splitmd_to_eager_fallback():
+    # The failure mode: a serialization regression silently routes large
+    # payloads through the eager protocol.  Makespan barely moves, but the
+    # protocol split must trip the gate.
+    h = BenchHistory("potrf")
+    for seed in (0, 1, 2):
+        r = _rec(0.010, baseline=True, seed=seed)
+        r.bytes_by_protocol = {"splitmd": 10000.0, "eager": 500.0}
+        h.append(r)
+    bad = _rec(0.010, seed=9)
+    bad.bytes_by_protocol = {"splitmd": 0.0, "eager": 10500.0}
+    h.append(bad)
+    rep = check_history(h)
+    assert not rep.ok
+    flagged = {v.metric for v in rep.regressions}
+    assert "bytes_by_protocol.splitmd" in flagged
+    assert "bytes_by_protocol.eager" in flagged
+    assert "makespan" not in flagged
+
+
+def test_host_seconds_verdict_reported_but_not_gating():
+    h = BenchHistory("potrf")
+    for seed in (0, 1, 2):
+        r = _rec(0.010, baseline=True, seed=seed)
+        r.host_seconds = 2.0
+        h.append(r)
+    fast = _rec(0.010, seed=9)
+    fast.host_seconds = 1.0   # 2x host speedup, same virtual results
+    h.append(fast)
+    rep = check_history(h)
+    assert rep.ok                                   # never gates
+    hv = [v for v in rep.verdicts if v.metric == "host_seconds"]
+    assert len(hv) == 1
+    assert hv[0].status == "improved" and not hv[0].gating
+
+
+def test_prune_keeps_recent_per_group():
+    h = BenchHistory("potrf")
+    h.append(_rec(0.010, baseline=True, seed=0))
+    for seed in range(1, 7):
+        h.append(_rec(0.011, seed=seed))
+    # A second config group must be pruned independently.
+    for seed in range(3):
+        h.append(_rec(0.02, seed=seed, n=2048))
+    dropped = h.prune(2)
+    assert dropped == 5                    # 6 -> 2 and 3 -> 2 per group
+    key = _rec(0.01).config_key
+    assert [r.seed for r in h.group(key)] == [0, 5, 6]
+    assert h.records[0].baseline           # baselines kept unconditionally
+    assert len(h.group(_rec(0.02, n=2048).config_key)) == 2
+
+
+def test_prune_drop_old_baselines_keeps_active_sweep():
+    h = BenchHistory("potrf")
+    h.append(_rec(0.010, baseline=True, seed=0))   # superseded sweep
+    h.append(_rec(0.011, seed=1))
+    h.append(_rec(0.0102, baseline=True, seed=2))  # active sweep
+    h.append(_rec(0.0101, baseline=True, seed=3))  # same sweep (contiguous)
+    h.append(_rec(0.012, seed=4))
+    dropped = h.prune(10, keep_baselines=False)
+    assert dropped == 1
+    assert [r.seed for r in h.records] == [1, 2, 3, 4]
+
+
+def test_prune_zero_keep_and_negative(tmp_path):
+    h = BenchHistory("potrf")
+    h.append(_rec(0.010, baseline=True, seed=0))
+    h.append(_rec(0.011, seed=1))
+    with pytest.raises(ValueError):
+        h.prune(-1)
+    assert h.prune(0) == 1
+    assert [r.seed for r in h.records] == [0]
+
+
+def test_cli_prune_compacts_files(tmp_path, capsys):
+    d = str(tmp_path)
+    h = BenchHistory("potrf")
+    h.append(_rec(0.010, baseline=True, seed=0))
+    for seed in range(1, 6):
+        h.append(_rec(0.011, seed=seed))
+    h.save(directory=d)
+    assert bench_main(["prune", "--history-dir", d, "--apps", "potrf",
+                       "--keep", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "dropped 3" in out
+    assert len(BenchHistory.load(BenchHistory.path_for("potrf", d))) == 3
+
+
+# --------------------------------------------------- measurement matrix
+
+
+def test_measure_cell_matches_direct_measurement():
+    direct = measure_potrf(0).as_dict()
+    via_cell = measure_cell({"app": "potrf", "seed": 0}).as_dict()
+    for skip in ("host_seconds", "git_sha"):
+        direct.pop(skip), via_cell.pop(skip)
+    assert via_cell == direct
+    with pytest.raises(ValueError, match="unknown watchdog app"):
+        measure_cell({"app": "nope", "seed": 0})
+
+
+def test_measure_matrix_records_engine_field():
+    out = measure_matrix(apps=("fw",), seeds=(0,), engine="sharded")
+    assert list(out) == ["fw"]
+    rec = out["fw"][0]
+    assert rec.engine == "sharded"
+    assert rec.host_seconds > 0
+
+
+def test_measure_bspmm_and_mra_fill_records():
+    from repro.bench.history import MEASUREMENTS, measure_bspmm, measure_mra
+
+    assert set(MEASUREMENTS) == {"potrf", "fw", "bspmm", "mra"}
+    b = measure_bspmm(0)
+    assert b.app == "bspmm" and b.makespan > 0 and b.tasks_total > 0
+    m = measure_mra(0)
+    assert m.app == "mra" and m.makespan > 0 and m.tasks_total > 0
+    # Sharded parity on the new apps (virtual fields identical).
+    for fn, rec in ((measure_bspmm, b), (measure_mra, m)):
+        d1, d2 = rec.as_dict(), fn(0, engine="sharded").as_dict()
+        for skip in ("host_seconds", "engine", "git_sha"):
+            d1.pop(skip), d2.pop(skip)
+        assert d2 == d1

@@ -1,0 +1,118 @@
+"""Micro-benchmark of the event-engine hot loop.
+
+Measures events/second on a synthetic event storm for the sequential and
+sharded engines and checks the optimizations stay effective:
+
+- the batched ``schedule_batch`` path must not be slower than N single
+  pushes (it exists to amortize ``heappush``);
+- cancelled events must be skipped cheaply;
+- seq and sharded engines must execute the storm in the identical order.
+
+Host-time assertions are inherently flaky on loaded or single-core CI
+hosts, so the *strict* throughput gates only arm when REPRO_BENCH_STRICT
+is set; the order and smoke assertions always run.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.sharded import ShardedEngine
+
+STRICT = bool(os.environ.get("REPRO_BENCH_STRICT"))
+
+N_EVENTS = 20_000
+
+
+def _storm(eng, hits, n=N_EVENTS):
+    """A deterministic storm: staggered times, mixed ranks, some nesting."""
+    for i in range(n):
+        eng.schedule((i * 13) % 97 * 1e-6, hits.append, i, rank=i % 8)
+
+
+def _time_drain(eng):
+    t0 = time.perf_counter()
+    eng.run()
+    return time.perf_counter() - t0
+
+
+@pytest.mark.parametrize("kind", ["seq", "sharded"])
+def test_storm_throughput_smoke(kind):
+    eng = Engine() if kind == "seq" else ShardedEngine(nshards=8,
+                                                       lookahead=1e-5)
+    hits = []
+    _storm(eng, hits)
+    host = _time_drain(eng)
+    assert len(hits) == N_EVENTS
+    assert eng.events_processed == N_EVENTS
+    rate = N_EVENTS / host
+    # Even a slow CI box clears 50k events/s; the point is catching an
+    # accidental O(n log n) -> O(n^2) or per-event allocation regression.
+    if STRICT:
+        assert rate > 200_000, f"{kind} engine at {rate:,.0f} ev/s"
+    else:
+        assert rate > 20_000, f"{kind} engine at {rate:,.0f} ev/s"
+
+
+def test_seq_and_sharded_order_identical_on_storm():
+    results = []
+    for eng in (Engine(), ShardedEngine(nshards=8, lookahead=1e-5)):
+        hits = []
+        _storm(eng, hits, n=5_000)
+        eng.run()
+        results.append(hits)
+    assert results[0] == results[1]
+
+
+def test_batched_schedule_not_slower_than_single():
+    """One heap push per burst must beat (or tie) a push per event."""
+    n_bursts, burst = 400, 50
+
+    def single():
+        eng = Engine()
+        for b in range(n_bursts):
+            for i in range(burst):
+                eng.schedule(float(b), (lambda: None))
+        return eng
+
+    def batched():
+        eng = Engine()
+        for b in range(n_bursts):
+            eng.schedule_batch(float(b),
+                               [((lambda: None), ()) for _ in range(burst)])
+        return eng
+
+    # Warm up, then time schedule+drain for both shapes.
+    for fn in (single, batched):
+        fn().run()
+    t0 = time.perf_counter()
+    single().run()
+    t_single = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batched().run()
+    t_batched = time.perf_counter() - t0
+    if STRICT:
+        assert t_batched <= t_single * 1.10, (
+            f"batched {t_batched:.4f}s vs single {t_single:.4f}s"
+        )
+    else:
+        # Loose sanity bound for noisy hosts.
+        assert t_batched <= t_single * 2.0, (
+            f"batched {t_batched:.4f}s vs single {t_single:.4f}s"
+        )
+
+
+def test_cancelled_events_skipped_cheaply():
+    eng = Engine()
+    events = [eng.schedule(1.0, (lambda: None)) for _ in range(10_000)]
+    for ev in events:
+        ev.cancel()
+    keep = []
+    eng.schedule(2.0, keep.append, "ran")
+    host = _time_drain(eng)
+    assert keep == ["ran"]
+    assert eng.events_processed == 1
+    if STRICT:
+        assert host < 0.1
