@@ -3,18 +3,45 @@
 The CLI executes each given Python file (as ``__main__``, exactly like
 running it), observes every :class:`~repro.core.graph.TaskGraph` and
 :class:`~repro.core.graph.Executable` the script builds via the
-construction-observer hook in :mod:`repro.core.graph`, lints them all,
+construction-observer hook in :mod:`repro.core.graph`, analyzes them all,
 and prints one rule-grouped report per file::
 
     python -m repro.analysis examples/quickstart.py
     python -m repro.analysis examples/*.py --strict
+    python -m repro.analysis shardsafe examples/*.py --audit-runtime
+    python -m repro.analysis shardsafe --trace run.jsonl
 
-Exit status is 0 when no error-severity finding survives, 1 otherwise
-(``--strict`` also fails on warnings).  The script's own stdout is
-suppressed unless ``--verbose`` is given.
+The ``shardsafe`` subcommand runs the static shard-safety pass
+(:mod:`repro.analysis.shardsafe`, SHD rules) instead of the wiring
+linter, optionally audits the runtime's own scheduling paths
+(``--audit-runtime``), and feeds recorded telemetry JSONL traces to the
+happens-before race detector (``--trace``, repeatable; record traces
+with ``python -m repro.telemetry record script.py --jsonl out.jsonl``).
+``--json PATH`` additionally writes the full machine-readable report
+(the CI artifact).
 
-File-scope waivers: a line ``# ttg-lint: disable=TTG005,TTG002`` anywhere
-in the linted file suppresses those rules for every graph it builds
+Exit-code contract (both subcommands)
+-------------------------------------
+==  ============================================================
+0   clean: no findings above info severity, none suppressed
+1   hard findings: an unwaived error (or, under ``--strict``, an
+    unwaived warning) survives, or a script failed to run
+2   waived-only: every error/warning finding is suppressed by a
+    waiver (template ``tt.lint_waive`` or file-scope comment) --
+    the graph passes, but only by explicit acknowledgment
+==  ============================================================
+
+CI treats 2 as success for graphs with reviewed waivers; the distinct
+code keeps "passes because it is clean" and "passes because someone
+signed off" observable without parsing reports.  Suppression is
+measured by double analysis: the effective run (waivers honored) is
+diffed against a raw run (``honor_waivers=False``, file waivers
+ignored).  Expired waivers (``tt.lint_waive(..., expires=...)`` past
+its date) no longer suppress -- their findings fire hard again -- and
+are called out in the summary.
+
+File-scope waivers: a line ``# ttg-lint: disable=TTG005,SHD006`` anywhere
+in the analyzed file suppresses those rules for every graph it builds
 (template-level waivers use ``tt.lint_waive(...)`` in the code itself).
 """
 
@@ -22,11 +49,21 @@ from __future__ import annotations
 
 import argparse
 import io
+import json
 import re
 import sys
 import traceback
 from contextlib import redirect_stdout
-from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+)
 
 from repro.analysis.lint import lint_graph
 from repro.analysis.rules import Finding, SEVERITIES
@@ -34,6 +71,11 @@ from repro.core.graph import (
     add_construction_observer,
     remove_construction_observer,
 )
+
+#: Exit statuses (see module docstring).
+EXIT_CLEAN = 0
+EXIT_HARD = 1
+EXIT_WAIVED = 2
 
 _WAIVER_RE = re.compile(r"#\s*ttg-lint:\s*disable=([A-Z0-9, ]+)")
 
@@ -47,13 +89,17 @@ def parse_waivers(source: str) -> Tuple[str, ...]:
 
 
 class FileReport:
-    """Lint results for one executed script."""
+    """Analysis results for one executed script."""
 
     def __init__(self, path: str) -> None:
         self.path = path
         self.graphs: List[Any] = []
         self.nranks: Dict[int, int] = {}  # id(graph) -> bound cluster size
         self.findings: List[Finding] = []
+        #: Findings a waiver suppressed (raw run minus effective run).
+        self.suppressed: List[Finding] = []
+        #: (template name, rule id) pairs whose waiver expiry has passed.
+        self.expired: List[Tuple[str, str]] = []
         self.waived: Tuple[str, ...] = ()
         self.crash: Optional[str] = None
         self.script_output = ""
@@ -70,10 +116,22 @@ class FileReport:
         c = self.counts()
         return c["error"] > 0 or (strict and c["warning"] > 0)
 
+    def exit_code(self, strict: bool = False) -> int:
+        """This file's contribution to the CLI exit status."""
+        if self.failed(strict=strict):
+            return EXIT_HARD
+        if any(f.rule.severity in ("error", "warning") for f in self.suppressed):
+            return EXIT_WAIVED
+        return EXIT_CLEAN
 
-def lint_file(path: str) -> FileReport:
-    """Execute ``path`` and lint every graph it constructs."""
-    report = FileReport(path)
+
+#: Analysis pass signature: (graph, nranks, ignore, honor_waivers) -> findings.
+AnalysisPass = Callable[..., List[Finding]]
+
+
+def _run_script(report: FileReport) -> None:
+    """Execute ``report.path`` as ``__main__``, collecting every graph it
+    constructs (and the cluster size each one is bound to)."""
     observed: List[Any] = []
 
     def observer(kind: str, obj: Any) -> None:
@@ -83,19 +141,22 @@ def lint_file(path: str) -> FileReport:
             report.nranks[id(obj.graph)] = obj.nranks
 
     try:
-        with open(path) as fh:
+        with open(report.path) as fh:
             source = fh.read()
     except OSError as e:
-        report.crash = f"cannot read {path}: {e}"
-        return report
+        report.crash = f"cannot read {report.path}: {e}"
+        return
     report.waived = parse_waivers(source)
 
-    globalns = {"__name__": "__main__", "__file__": path, "__builtins__": __builtins__}
+    globalns = {
+        "__name__": "__main__", "__file__": report.path,
+        "__builtins__": __builtins__,
+    }
     add_construction_observer(observer)
     buf = io.StringIO()
     try:
         with redirect_stdout(buf):
-            exec(compile(source, path, "exec"), globalns)
+            exec(compile(source, report.path, "exec"), globalns)
     except SystemExit as e:
         if e.code not in (None, 0):
             report.crash = f"script exited with status {e.code}"
@@ -106,19 +167,68 @@ def lint_file(path: str) -> FileReport:
         report.script_output = buf.getvalue()
 
     report.graphs = observed
-    for g in observed:
-        report.findings.extend(
-            lint_graph(g, nranks=report.nranks.get(id(g)), ignore=report.waived)
-        )
+
+
+def _suppressed_diff(
+    effective: Sequence[Finding], raw: Sequence[Finding]
+) -> List[Finding]:
+    """Raw-run findings absent from the effective run (multiset diff)."""
+    remaining: Dict[Tuple[str, str, str], int] = {}
+    for f in effective:
+        key = (f.rule.id, f.location, f.message)
+        remaining[key] = remaining.get(key, 0) + 1
+    out: List[Finding] = []
+    for f in raw:
+        key = (f.rule.id, f.location, f.message)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            out.append(f)
+    return out
+
+
+def _analyze_file(path: str, run_pass: AnalysisPass) -> FileReport:
+    """Execute ``path`` and run one analysis pass over every graph it
+    constructs, measuring waiver suppression via a raw second run."""
+    report = FileReport(path)
+    _run_script(report)
+    if report.crash is not None and not report.graphs:
+        return report
+
+    effective: List[Finding] = []
+    raw: List[Finding] = []
+    for g in report.graphs:
+        nranks = report.nranks.get(id(g))
+        effective.extend(run_pass(g, nranks=nranks, ignore=report.waived))
+        raw.extend(run_pass(g, nranks=nranks, ignore=(), honor_waivers=False))
+        for tt in g.tts:
+            expired = getattr(tt, "expired_waivers", None)
+            if callable(expired):
+                report.expired.extend((tt.name, rid) for rid in expired())
+    report.findings = effective
+    report.suppressed = _suppressed_diff(effective, raw)
     return report
+
+
+def lint_file(path: str) -> FileReport:
+    """Execute ``path`` and lint every graph it constructs."""
+    return _analyze_file(path, lint_graph)
+
+
+def shardsafe_file(path: str) -> FileReport:
+    """Execute ``path`` and run the shard-safety pass on its graphs."""
+    from repro.analysis.shardsafe import shardsafe_graph
+
+    return _analyze_file(path, shardsafe_graph)
 
 
 # ------------------------------------------------------------------ reporting
 
 
-def format_report(report: FileReport, verbose: bool = False) -> str:
+def format_report(report: FileReport, verbose: bool = False,
+                  title: str = "repro.analysis") -> str:
     """Human-readable, rule-grouped report for one file."""
-    lines = [f"== repro.analysis == {report.path}"]
+    lines = [f"== {title} == {report.path}"]
     if report.crash is not None:
         lines.append("  script failed to run:")
         lines.extend("    " + ln for ln in report.crash.rstrip().splitlines())
@@ -148,8 +258,25 @@ def format_report(report: FileReport, verbose: bool = False) -> str:
             lines.append(f"    - {f.location}: {f.message}")
         lines.append(f"    hint: {rule.hint}")
 
+    if report.suppressed:
+        per_rule: Dict[str, int] = {}
+        for f in report.suppressed:
+            per_rule[f.rule.id] = per_rule.get(f.rule.id, 0) + 1
+        detail = ", ".join(f"{rid} x{n}" for rid, n in sorted(per_rule.items()))
+        lines.append(
+            f"  suppressed by waivers: {len(report.suppressed)} "
+            f"finding(s) ({detail})"
+        )
+    for tt_name, rid in sorted(set(report.expired)):
+        lines.append(
+            f"  EXPIRED waiver: {tt_name}.lint_waive({rid!r}) is past its "
+            "expires= date; its findings fire hard again"
+        )
+
     c = report.counts()
-    verdict = "FAIL" if report.failed() else "ok"
+    verdict = "FAIL" if report.failed() else (
+        "ok (waived)" if report.exit_code() == EXIT_WAIVED else "ok"
+    )
     lines.append(
         f"  {verdict}: {c['error']} error(s), {c['warning']} warning(s), "
         f"{c['info']} info"
@@ -160,10 +287,60 @@ def format_report(report: FileReport, verbose: bool = False) -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[Sequence[str]] = None, stream: TextIO = None) -> int:
+def _format_findings(title: str, findings: Sequence[Finding]) -> List[str]:
+    lines = [f"== {title} =="]
+    by_rule: Dict[str, List[Finding]] = {}
+    for f in findings:
+        by_rule.setdefault(f.rule.id, []).append(f)
+    for rule_id in sorted(by_rule):
+        fs = by_rule[rule_id]
+        rule = fs[0].rule
+        lines.append(f"  {rule.id} {rule.title} [{rule.severity}] x{len(fs)}")
+        for f in fs:
+            lines.append(f"    - {f.location}: {f.message}")
+        lines.append(f"    hint: {rule.hint}")
+    if not by_rule:
+        lines.append("  ok: no findings")
+    return lines
+
+
+def _finding_json(f: Finding) -> Dict[str, Any]:
+    return {"rule": f.rule.id, "severity": f.rule.severity,
+            "location": f.location, "message": f.message}
+
+
+def _report_json(report: FileReport, strict: bool) -> Dict[str, Any]:
+    return {
+        "path": report.path,
+        "graphs": [g.name for g in report.graphs],
+        "crash": report.crash,
+        "findings": [_finding_json(f) for f in report.findings],
+        "suppressed": [_finding_json(f) for f in report.suppressed],
+        "expired_waivers": [
+            {"template": tt, "rule": rid}
+            for tt, rid in sorted(set(report.expired))
+        ],
+        "exit_code": report.exit_code(strict=strict),
+    }
+
+
+def _combine(codes: Sequence[int]) -> int:
+    """Overall exit status: hard failure beats waived-only beats clean."""
+    if EXIT_HARD in codes:
+        return EXIT_HARD
+    if EXIT_WAIVED in codes:
+        return EXIT_WAIVED
+    return EXIT_CLEAN
+
+
+# ---------------------------------------------------------------- lint mode
+
+
+def _lint_main(argv: Sequence[str], stream: TextIO) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Statically lint the task graphs built by Python scripts.",
+        description="Statically lint the task graphs built by Python scripts "
+                    "(exit 0 clean / 1 hard findings / 2 waived-only).",
     )
     parser.add_argument("files", nargs="+", help="scripts that construct TTGs")
     parser.add_argument(
@@ -175,12 +352,119 @@ def main(argv: Optional[Sequence[str]] = None, stream: TextIO = None) -> int:
         help="include each script's own stdout in the report",
     )
     args = parser.parse_args(argv)
-    out = stream or sys.stdout
 
-    failed = False
+    codes = []
     for path in args.files:
         report = lint_file(path)
-        print(format_report(report, verbose=args.verbose), file=out)
-        print(file=out)
-        failed = failed or report.failed(strict=args.strict)
-    return 1 if failed else 0
+        print(format_report(report, verbose=args.verbose), file=stream)
+        print(file=stream)
+        codes.append(report.exit_code(strict=args.strict))
+    return _combine(codes)
+
+
+# ----------------------------------------------------------- shardsafe mode
+
+
+def _shardsafe_main(argv: Sequence[str], stream: TextIO) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis shardsafe",
+        description="Shard-safety analysis: static SHD pass over the graphs "
+                    "built by scripts, plus the happens-before race detector "
+                    "over recorded telemetry traces "
+                    "(exit 0 clean / 1 hard findings / 2 waived-only).",
+    )
+    parser.add_argument(
+        "files", nargs="*", help="scripts that construct TTGs",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail (exit 1) on warning-severity findings",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="include each script's own stdout in the report",
+    )
+    parser.add_argument(
+        "--trace", action="append", default=[], metavar="LOG.jsonl",
+        help="telemetry JSONL trace to run the race detector over "
+             "(repeatable; record with python -m repro.telemetry record)",
+    )
+    parser.add_argument(
+        "--audit-runtime", action="store_true",
+        help="also audit the runtime's own scheduling paths for unranked "
+             "calls (SHD008)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the full machine-readable report to PATH (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+    if not args.files and not args.trace and not args.audit_runtime:
+        parser.error("nothing to do: give scripts, --trace, or --audit-runtime")
+
+    codes: List[int] = []
+    payload: Dict[str, Any] = {
+        "schema": "repro.analysis/shardsafe-v1",
+        "files": [], "audit": [], "traces": [],
+    }
+
+    for path in args.files:
+        report = shardsafe_file(path)
+        print(format_report(report, verbose=args.verbose,
+                            title="repro.analysis shardsafe"), file=stream)
+        print(file=stream)
+        codes.append(report.exit_code(strict=args.strict))
+        payload["files"].append(_report_json(report, args.strict))
+
+    if args.audit_runtime:
+        from repro.analysis.shardsafe import audit_runtime_modules
+
+        audit = audit_runtime_modules()
+        print("\n".join(_format_findings("shardsafe runtime audit", audit)),
+              file=stream)
+        print(file=stream)
+        codes.append(
+            EXIT_HARD
+            if any(f.rule.severity == "error" for f in audit)
+            or (args.strict and audit)
+            else EXIT_CLEAN
+        )
+        payload["audit"] = [_finding_json(f) for f in audit]
+
+    for trace in args.trace:
+        from repro.analysis.race import detect_races
+        from repro.telemetry.export import read_jsonl
+
+        try:
+            bus = read_jsonl(trace)
+        except (OSError, ValueError) as e:
+            print(f"== race detector == {trace}\n  cannot read trace: {e}",
+                  file=stream)
+            print(file=stream)
+            codes.append(EXIT_HARD)
+            payload["traces"].append({"path": trace, "error": str(e)})
+            continue
+        races = detect_races(bus)
+        print("\n".join(_format_findings(f"race detector: {trace}", races)),
+              file=stream)
+        print(file=stream)
+        codes.append(EXIT_HARD if races else EXIT_CLEAN)
+        payload["traces"].append(
+            {"path": trace, "findings": [_finding_json(f) for f in races]}
+        )
+
+    code = _combine(codes)
+    payload["exit_code"] = code
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+    return code
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         stream: Optional[TextIO] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    out = stream or sys.stdout
+    if argv and argv[0] == "shardsafe":
+        return _shardsafe_main(argv[1:], out)
+    return _lint_main(argv, out)

@@ -41,11 +41,19 @@ def lint_rule(rule_id: str):
 
 
 class LintContext:
-    """Everything a rule implementation may inspect."""
+    """Everything a rule implementation may inspect.
 
-    def __init__(self, graph: Any, nranks: Optional[int]) -> None:
+    ``honor_waivers=False`` runs the rules *raw*: template-level
+    ``tt.lint_waive(...)`` acknowledgments are ignored, which is how the
+    CLI computes the set of findings a waiver suppressed (the raw run
+    minus the effective run).
+    """
+
+    def __init__(self, graph: Any, nranks: Optional[int],
+                 honor_waivers: bool = True) -> None:
         self.graph = graph
         self.nranks = nranks
+        self.honor_waivers = honor_waivers
         #: PTG front-end object when this graph was compiled from one.
         self.ptg = getattr(graph, "_ptg", None)
 
@@ -53,6 +61,16 @@ class LintContext:
 
     def finding(self, rule_id: str, location: str, message: str) -> Finding:
         return Finding(get_rule(rule_id), message, location=location)
+
+    def waived(self, tt: Any, rule_id: str) -> bool:
+        """Template-level waiver check (expiry-aware, see
+        :meth:`repro.core.task.TemplateTask.waiver_active`)."""
+        if not self.honor_waivers:
+            return False
+        active = getattr(tt, "waiver_active", None)
+        if callable(active):
+            return bool(active(rule_id))
+        return rule_id in getattr(tt, "_lint_waivers", ())
 
     def loc(self, tt: Any, terminal: Any = None) -> str:
         base = f"{self.graph.name}/{tt.name}"
@@ -71,6 +89,7 @@ def lint_graph(
     graph: Any,
     nranks: Optional[int] = None,
     ignore: Iterable[str] = (),
+    honor_waivers: bool = True,
 ) -> List[Finding]:
     """Lint a constructed TaskGraph (or PTG-compiled graph).
 
@@ -85,8 +104,11 @@ def lint_graph(
     ignore:
         Rule ids to suppress globally.  Per-template suppression uses
         ``tt.lint_waive("TTG005", ...)``.
+    honor_waivers:
+        ``False`` ignores template-level waivers; the CLI diffs a raw
+        run against the effective run to report what waivers suppressed.
     """
-    ctx = LintContext(graph, nranks)
+    ctx = LintContext(graph, nranks, honor_waivers=honor_waivers)
     ignored = set(ignore)
     out: List[Finding] = []
     for rule_id, fn in _LINT_RULES:
@@ -106,10 +128,6 @@ def lint_ptg(ptg: Any, nranks: Optional[int] = None,
     return lint_graph(ptg.graph, nranks=nranks, ignore=ignore)
 
 
-def _waived(tt: Any, rule_id: str) -> bool:
-    return rule_id in getattr(tt, "_lint_waivers", ())
-
-
 # ============================================================== wiring rules
 
 
@@ -117,7 +135,7 @@ def _waived(tt: Any, rule_id: str) -> bool:
 def _unfed_inputs(ctx: LintContext) -> Iterator[Finding]:
     """Input terminals whose edge has no producer (seed-only)."""
     for tt in ctx.graph.tts:
-        if _waived(tt, "TTG001"):
+        if ctx.waived(tt, "TTG001"):
             continue
         for t in tt.inputs:
             if not t.edge.producers:
@@ -132,7 +150,7 @@ def _unfed_inputs(ctx: LintContext) -> Iterator[Finding]:
 def _dangling_outputs(ctx: LintContext) -> Iterator[Finding]:
     """Output terminals whose edge has no consumer (sends will fail)."""
     for tt in ctx.graph.tts:
-        if _waived(tt, "TTG002"):
+        if ctx.waived(tt, "TTG002"):
             continue
         for t in tt.outputs:
             if not t.edge.consumers:
@@ -162,7 +180,7 @@ def _key_type_conflicts(ctx: LintContext) -> Iterator[Finding]:
     terms, a type error here.
     """
     for tt in ctx.graph.tts:
-        if _waived(tt, "TTG003"):
+        if ctx.waived(tt, "TTG003"):
             continue
         declared = [
             (t, t.edge.key_type) for t in tt.inputs if t.edge.key_type is not None
@@ -200,7 +218,7 @@ def _unreachable_templates(ctx: LintContext) -> Iterator[Finding]:
         for tt in tts
         if tt.num_inputs == 0
         or any(not t.edge.producers for t in tt.inputs)
-        or _waived(tt, "TTG004")
+        or ctx.waived(tt, "TTG004")
     ]
     reached: Set[int] = {tt.id for tt in sources}
     frontier = list(sources)
@@ -212,7 +230,7 @@ def _unreachable_templates(ctx: LintContext) -> Iterator[Finding]:
                     reached.add(ctt.id)
                     frontier.append(ctt)
     for tt in tts:
-        if tt.id not in reached and not _waived(tt, "TTG004"):
+        if tt.id not in reached and not ctx.waived(tt, "TTG004"):
             yield ctx.finding(
                 "TTG004", ctx.loc(tt),
                 "not reachable from any source template; it can only run "
@@ -295,7 +313,7 @@ def _unbounded_stream_cycles(ctx: LintContext) -> Iterator[Finding]:
         members = {tt.id for tt in comp}
         names = sorted(tt.name for tt in comp)
         for tt in comp:
-            if _waived(tt, "TTG005"):
+            if ctx.waived(tt, "TTG005"):
                 continue
             for t in tt.inputs:
                 if not t.is_streaming or t.static_stream_size is not None:
@@ -314,7 +332,7 @@ def _unbounded_stream_cycles(ctx: LintContext) -> Iterator[Finding]:
 def _void_streams(ctx: LintContext) -> Iterator[Finding]:
     """Streaming terminals reducing over a Void-valued edge."""
     for tt in ctx.graph.tts:
-        if _waived(tt, "TTG009"):
+        if ctx.waived(tt, "TTG009"):
             continue
         for t in tt.inputs:
             if t.is_streaming and t.edge.value_type is Void:
@@ -341,7 +359,7 @@ def _keymap_probe(ctx: LintContext) -> Iterator[Finding]:
     """
     nranks = ctx.nranks
     for tt in ctx.graph.tts:
-        if tt._keymap is None or _waived(tt, "TTG006"):
+        if tt._keymap is None or ctx.waived(tt, "TTG006"):
             continue  # default crc32 map is always valid
         int_ok = False
         nonint_return = None  # (key, value)
@@ -399,7 +417,7 @@ def _priomap_probe(ctx: LintContext) -> Iterator[Finding]:
     for any accepted probe key.
     """
     for tt in ctx.graph.tts:
-        if tt._priomap is None or _waived(tt, "TTG007"):
+        if tt._priomap is None or ctx.waived(tt, "TTG007"):
             continue
         int_ok = False
         nonint = None

@@ -169,9 +169,101 @@ SAN007 = _rule(
     "belongs to the runtime after the first send",
 )
 
+# ---------------------------------------------------- shard-safety rules
+#
+# The SHD family is the static half of repro.analysis.shardsafe: the
+# machine-checkable preconditions for running a graph on a shared-nothing
+# multiprocess engine (the ROADMAP's top open item).  Task bodies and
+# event callables must be pure functions of their declared inputs, their
+# captured state must either pickle or be reconstructible per process,
+# and every scheduling path must carry a rank.
+
+SHD001 = _rule(
+    "SHD001", "error", "unpicklable-capture",
+    "a task body (or map/reducer) captures state that cannot cross a "
+    "process boundary (locks, file handles, sockets, generators); pass "
+    "data through terminals or reconstruct the resource per rank",
+)
+SHD002 = _rule(
+    "SHD002", "error", "runtime-state-capture",
+    "a task body (or map/reducer) captures a live runtime object "
+    "(engine, cluster, backend, executable, world, comm engine, event "
+    "bus); runtime state is per-process in a shared-nothing engine and "
+    "must never be closed over",
+)
+SHD003 = _rule(
+    "SHD003", "warning", "nested-callable-capture",
+    "a task body captures a lambda or nested function; such callables "
+    "do not pickle -- hoist the helper to module level or rebuild it "
+    "inside the body",
+)
+SHD004 = _rule(
+    "SHD004", "error", "free-var-mutation",
+    "a task body assigns to a closure free variable (nonlocal); in a "
+    "shared-nothing engine each process sees its own copy, so the "
+    "mutation is silently lost -- thread the state through terminals",
+)
+SHD005 = _rule(
+    "SHD005", "warning", "global-mutation",
+    "a task body assigns to a module global; per-process module state "
+    "diverges silently across ranks -- thread the state through "
+    "terminals or keep it rank-keyed",
+)
+SHD006 = _rule(
+    "SHD006", "warning", "mutable-data-capture",
+    "a task body captures a mutable data value (tile, ndarray, matrix "
+    "container, dict/list) instead of receiving it via declared input "
+    "terminals; closure-shared data cannot be distribution-managed by a "
+    "shared-nothing engine",
+)
+SHD007 = _rule(
+    "SHD007", "warning", "map-impure-capture",
+    "a keymap/priomap/devicemap/cost function captures mutable or "
+    "runtime state; maps must be pure functions of the task ID so every "
+    "process computes identical placements",
+)
+SHD008 = _rule(
+    "SHD008", "warning", "unranked-engine-path",
+    "a scheduling call (schedule/schedule_at/post_local/...) passes no "
+    "rank= hint, so the event lands on shard 0; annotate intentional "
+    "cases with '# shard-safe: unranked-ok' or thread the rank through",
+)
+
+# ------------------------------------------------------------- race rules
+#
+# The RACE family is the dynamic half: a happens-before race detector
+# over the telemetry event stream (per-rank vector clocks built from task
+# spans, dep instants, and zero-copy alias instants).
+
+RACE001 = _rule(
+    "RACE001", "error", "unordered-write-read",
+    "a tile buffer was written on one rank and read on another with no "
+    "happens-before edge between the accesses; add a dependency edge or "
+    "copy the data (mode='value')",
+)
+RACE002 = _rule(
+    "RACE002", "error", "unordered-write-write",
+    "the same tile buffer was written from two ranks with no ordering "
+    "edge between the writes; the result depends on scheduling",
+)
+RACE003 = _rule(
+    "RACE003", "error", "cross-rank-aliasing",
+    "one buffer was observed zero-copy-aliased on two ranks; in a "
+    "shared-nothing engine ranks have disjoint address spaces, so "
+    "aliased state must become per-rank copies or messages",
+)
+RACE004 = _rule(
+    "RACE004", "error", "mutation-outside-owner-span",
+    "a sanitizer-visible mutation of shared data happened outside the "
+    "owning task's execution span; only the task that owns a buffer "
+    "may write it",
+)
+
 #: ids of the static lint rules / sanitizer checks, in order.
 LINT_RULE_IDS = tuple(r.id for r in all_rules() if r.id.startswith("TTG"))
 SANITIZER_RULE_IDS = tuple(r.id for r in all_rules() if r.id.startswith("SAN"))
+SHARDSAFE_RULE_IDS = tuple(r.id for r in all_rules() if r.id.startswith("SHD"))
+RACE_RULE_IDS = tuple(r.id for r in all_rules() if r.id.startswith("RACE"))
 
 # A read-only snapshot for importers; new rules must be declared in this
 # module so docs/analysis.md stays the complete catalog.

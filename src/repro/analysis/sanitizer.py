@@ -44,6 +44,36 @@ def _trackable(value: Any) -> bool:
     )
 
 
+def canonical_findings(findings: List[Finding]) -> List[Finding]:
+    """Deduplicate and stably order a findings list.
+
+    On the sharded engine one fault can be observed once per rank shard
+    (e.g. a cref mutation seen by consumers on two shards), so raw
+    finding lists differ between engines only in multiplicity and
+    arrival order.  Canonical form -- first occurrence per
+    ``(rule, location, message)`` triple, sorted by that triple -- is
+    what the engine-parity suite compares.
+    """
+    seen: Set[Tuple[str, str, str]] = set()
+    out: List[Finding] = []
+    for f in findings:
+        key = (f.rule.id, f.location, f.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(f)
+    out.sort(key=lambda f: (f.rule.id, f.location, f.message))
+    return out
+
+
+def merge_findings(*lists: List[Finding]) -> List[Finding]:
+    """Merge findings from several shards/sources into canonical form."""
+    merged: List[Finding] = []
+    for fs in lists:
+        merged.extend(fs)
+    return canonical_findings(merged)
+
+
 def _fingerprint(value: Any) -> str:
     """Content hash of a tracked value (best effort; repr fallback)."""
     data = value
@@ -79,7 +109,13 @@ class Sanitizer:
 
     # -------------------------------------------------------------- report
 
-    def record(self, rule_id: str, location: str, message: str) -> Finding:
+    def record(self, rule_id: str, location: str, message: str,
+               **telargs: Any) -> Finding:
+        """Report one fault.  Extra keyword args ride on the telemetry
+        instant only (e.g. SAN003's ``sharer=`` label, which the race
+        detector uses for RACE004); findings themselves stay
+        ``(rule, location, message)`` so engine-parity comparison is
+        unaffected."""
         f = Finding(get_rule(rule_id), message, location=location)
         self.findings.append(f)
         tel = getattr(self.ex.backend, "telemetry", None)
@@ -87,7 +123,7 @@ class Sanitizer:
             from repro.telemetry.events import TID_SAN
 
             tel.bus.instant(rule_id, 0, TID_SAN, cat="san",
-                            location=location, message=message)
+                            location=location, message=message, **telargs)
             tel.metrics.counter("san_findings", rule=rule_id).inc()
         if self.strict:
             raise SanitizerError(str(f), rule=rule_id)
@@ -177,6 +213,7 @@ class Sanitizer:
                 "SAN003", where,
                 f"value shared via cref by {sharer} was mutated before "
                 "its consumer observed it (write-after-share race)",
+                sharer=sharer,
             )
 
     # ------------------------------------------------------------ task hooks

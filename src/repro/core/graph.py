@@ -81,16 +81,24 @@ class TaskGraph:
                 out[t.edge.id] = t.edge
         return list(out.values())
 
-    def validate(self, nranks: Optional[int] = None) -> List[str]:
+    def validate(self, nranks: Optional[int] = None,
+                 shardsafe: bool = False) -> List[str]:
         """Wiring diagnostics as human-readable strings.
 
         Thin wrapper over the :mod:`repro.analysis` linter (the single
         source of truth for graph diagnostics); each string starts with
         the rule id, e.g. ``"TTG001 [info] g/T.in0: edge 'unfed' ..."``.
+        ``shardsafe=True`` additionally runs the static shard-safety
+        pass (:mod:`repro.analysis.shardsafe`, SHD rules).
         """
         from repro.analysis.lint import lint_graph
 
-        return [str(f) for f in lint_graph(self, nranks=nranks)]
+        findings = lint_graph(self, nranks=nranks)
+        if shardsafe:
+            from repro.analysis.shardsafe import shardsafe_graph
+
+            findings = findings + shardsafe_graph(self, nranks=nranks)
+        return [str(f) for f in findings]
 
     def to_dot(self) -> str:
         """Graphviz rendering of the template graph (for docs/examples)."""
@@ -106,15 +114,20 @@ class TaskGraph:
         return "\n".join(lines)
 
     def executable(
-        self, backend: Backend, *, strict: bool = False, sanitize: bool = False
+        self, backend: Backend, *, strict: bool = False,
+        sanitize: bool = False, shardsafe: bool = False,
     ) -> "Executable":
         """Bind this template graph to a backend (make_graph_executable).
 
         ``strict=True`` raises on any error-severity lint finding and
         arms the runtime sanitizer in raising mode; ``sanitize=True``
-        arms the sanitizer in collect-and-warn mode.
+        arms the sanitizer in collect-and-warn mode.  ``shardsafe=True``
+        adds the static shard-safety pass at construction and, when
+        telemetry is attached, the happens-before race detector at
+        :meth:`Executable.fence`.
         """
-        return Executable(self, backend, strict=strict, sanitize=sanitize)
+        return Executable(self, backend, strict=strict, sanitize=sanitize,
+                          shardsafe=shardsafe)
 
 
 class _Pending:
@@ -150,6 +163,7 @@ class Executable:
         *,
         strict: bool = False,
         sanitize: bool = False,
+        shardsafe: bool = False,
     ) -> None:
         self.graph = graph
         self.backend = backend
@@ -158,6 +172,8 @@ class Executable:
         self.task_counts: Counter = Counter()
         self._tt_ids = {tt.id for tt in graph.tts}
         self.strict = strict
+        self.shardsafe = shardsafe
+        self.race_findings: List[Any] = []
         self.sanitizer = None
         if strict or sanitize:
             from repro.analysis.sanitizer import Sanitizer
@@ -167,6 +183,12 @@ class Executable:
         from repro.analysis.lint import lint_graph
 
         self.findings = lint_graph(graph, nranks=backend.nranks)
+        if shardsafe:
+            from repro.analysis.shardsafe import shardsafe_graph
+
+            self.findings = self.findings + shardsafe_graph(
+                graph, nranks=backend.nranks
+            )
         errors = [f for f in self.findings if f.rule.severity == "error"]
         if errors:
             if strict:
@@ -187,14 +209,18 @@ class Executable:
         *,
         strict: bool = False,
         sanitize: bool = False,
+        shardsafe: bool = False,
     ) -> "Executable":
         """Bind ``graph`` to ``backend`` (``make_graph_executable``).
 
         ``Executable.make(graph, backend, strict=True)`` is the verified
         entry point: the linter raises on error findings and the runtime
         sanitizer raises at the first detected fault.
+        ``shardsafe=True`` adds the shard-safety pass (and, with
+        telemetry attached, the fence-time race detector).
         """
-        return cls(graph, backend, strict=strict, sanitize=sanitize)
+        return cls(graph, backend, strict=strict, sanitize=sanitize,
+                   shardsafe=shardsafe)
 
     # ------------------------------------------------------------- seeding
 
@@ -224,18 +250,46 @@ class Executable:
                                     provenance="<inject>")
         tel = self.backend.telemetry
         if tel is not None and tel.bus.enabled:
+            extra: Dict[str, Any] = {}
+            tok = tel.data_token(value)
+            if tok is not None:
+                extra = {"obj": tok, "mode": "value"}
             tel.bus.instant(
                 "dep", 0, TID_RT, cat="dep", src="<external>",
-                dst=f"{tt.name}[{key!r}]", edge=term.edge.name,
+                dst=f"{tt.name}[{key!r}]", edge=term.edge.name, **extra,
             )
         self.backend.post_local(self._deliver, tt, term.index, key, value,
                                 rank=tt.keymap(key, self.nranks))
 
     def fence(self, max_events: Optional[int] = None) -> float:
-        """Drain all tasks and messages; returns the makespan."""
+        """Drain all tasks and messages; returns the makespan.
+
+        With ``shardsafe=True`` and telemetry attached, a completed
+        fence (``max_events=None``) additionally runs the happens-before
+        race detector over the recorded event stream; findings land on
+        :attr:`race_findings` (strict mode raises instead).
+        """
         makespan = self.backend.run(max_events=max_events)
         if self.sanitizer is not None and max_events is None:
             self.sanitizer.on_shutdown()
+        if self.shardsafe and max_events is None:
+            tel = self.backend.telemetry
+            if tel is not None and tel.bus.enabled:
+                from repro.analysis.race import detect_races
+                from repro.core.exceptions import SanitizerError
+
+                self.race_findings = detect_races(tel)
+                if self.race_findings:
+                    if self.strict:
+                        raise SanitizerError(
+                            f"race detector found "
+                            f"{len(self.race_findings)} race(s): "
+                            + "; ".join(str(f) for f in self.race_findings),
+                            rule=self.race_findings[0].rule.id,
+                        )
+                    for f in self.race_findings:
+                        warnings.warn(f"TTG race: {f}", RuntimeWarning,
+                                      stacklevel=2)
         return makespan
 
     # ------------------------------------------------------------ delivery
@@ -263,19 +317,31 @@ class Executable:
             )
         backend = self.backend
         tel = backend.telemetry
+        record = tel is not None and tel.bus.enabled
+        # Data token: stable per-run identity for the sent buffer, stamped
+        # on dep instants (and alias instants for zero-copy deliveries) so
+        # the race detector can follow one buffer across ranks.
+        tok = tel.data_token(value) if record else None
+        extra: Dict[str, Any] = {"obj": tok, "mode": mode} if tok is not None else {}
         for ctt, cidx in edge.consumers:
             if self.sanitizer is not None:
                 self.sanitizer.on_route(ctt, cidx, key, value, mode)
-            if tel is not None and tel.bus.enabled:
+            if record:
                 tel.bus.instant(
                     "dep", src_rank, TID_RT, cat="dep",
                     src=current_task_label(), dst=f"{ctt.name}[{key!r}]",
-                    edge=edge.name,
+                    edge=edge.name, **extra,
                 )
             dst = ctt.keymap(key, self.nranks)
             if dst == src_rank:
                 backend.stats.local_deliveries += 1
                 v2, delay = backend.maybe_copy_local(value, mode)
+                if record and tok is not None and v2 is value:
+                    tel.bus.instant(
+                        "alias", src_rank, TID_RT, cat="alias",
+                        src=current_task_label(),
+                        dst=f"{ctt.name}[{key!r}]", obj=tok, mode=mode,
+                    )
                 backend.post_local(self._deliver, ctt, cidx, key, v2,
                                    delay=delay, rank=dst)
             elif value is None:
@@ -311,6 +377,9 @@ class Executable:
                 for k in keys:
                     self.send_from(src_rank, term, k, value, mode)
             return
+        record = tel is not None and tel.bus.enabled
+        tok = tel.data_token(value) if record else None
+        extra: Dict[str, Any] = {"obj": tok, "mode": mode} if tok is not None else {}
         per_rank: Dict[int, List[Tuple[TemplateTask, int, Any]]] = {}
         for term, keys in spec:
             edge = term.edge
@@ -325,11 +394,11 @@ class Executable:
                 for ctt, cidx in edge.consumers:
                     if self.sanitizer is not None:
                         self.sanitizer.on_route(ctt, cidx, k, value, mode)
-                    if tel is not None and tel.bus.enabled:
+                    if record:
                         tel.bus.instant(
                             "dep", src_rank, TID_RT, cat="dep",
                             src=current_task_label(),
-                            dst=f"{ctt.name}[{k!r}]", edge=edge.name,
+                            dst=f"{ctt.name}[{k!r}]", edge=edge.name, **extra,
                         )
                     dst = ctt.keymap(k, self.nranks)
                     per_rank.setdefault(dst, []).append((ctt, cidx, k))
@@ -339,6 +408,13 @@ class Executable:
             if dst == src_rank:
                 backend.stats.local_deliveries += len(targets)
                 v2, delay = backend.maybe_copy_local(value, mode)
+                if record and tok is not None and v2 is value:
+                    for ctt, cidx, k in targets:
+                        tel.bus.instant(
+                            "alias", src_rank, TID_RT, cat="alias",
+                            src=current_task_label(),
+                            dst=f"{ctt.name}[{k!r}]", obj=tok, mode=mode,
+                        )
                 # One heap entry for the whole same-timestamp fan-out.
                 backend.post_local_batch(
                     [(self._deliver, (ctt, cidx, k, v2)) for ctt, cidx, k in targets],

@@ -236,10 +236,19 @@ class WorkerPool:
             backend.tracer.record_task(name, task.key, self.rank, tid, start, end)
         tel = backend.telemetry
         if tel is not None:
+            args = {"key": repr(task.key), "template": task.name,
+                    "priority": task.priority}
+            if tel.bus.enabled:
+                # Data tokens of trackable inputs: the race detector uses
+                # them to see which rank shards observed a buffer live.
+                data = [
+                    tok for tok in (tel.data_token(v) for v in task.inputs)
+                    if tok is not None
+                ]
+                if data:
+                    args["data"] = data
             tel.bus.complete(
-                name, self.rank, tid, start, end, cat="task",
-                args={"key": repr(task.key), "template": task.name,
-                      "priority": task.priority},
+                name, self.rank, tid, start, end, cat="task", args=args,
             )
             tel.metrics.counter("tasks", template=task.name, rank=self.rank).inc()
             tel.metrics.histogram("task_time", template=task.name).observe(end - start)

@@ -114,6 +114,8 @@ class World:
         self.backend.termination.validate()
         barrier = self.backend.cluster.network.barrier_time(self.nranks)
         if barrier > 0.0:
+            # Global drain: deliberately not shard-keyed.
+            # shard-safe: unranked-ok
             self.backend.engine.schedule(barrier, lambda: None)
             self.backend.engine.run()
         return self.backend.engine.now

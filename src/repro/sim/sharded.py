@@ -35,6 +35,14 @@ in worker processes (:mod:`repro.bench.parallel`): event callbacks are
 closures over shared runtime state and cannot cross a process boundary,
 so the process is the shard at run granularity, and bit-for-bit
 determinism is inherited from the in-process engines.
+
+Shard-safety contract: every scheduling call reachable from a send/fire
+path must pass ``rank=`` so the event lands on the owning shard --
+``repro.analysis.shardsafe`` audits this statically (rule SHD008, run it
+via ``python -m repro.analysis shardsafe --audit-runtime``).  A call that
+is *deliberately* unranked (global bookkeeping that belongs to shard 0,
+e.g. the fence barrier in :mod:`repro.runtime.world`) carries a
+``# shard-safe: unranked-ok`` annotation acknowledging it.
 """
 
 from __future__ import annotations

@@ -290,6 +290,37 @@ class Telemetry:
         self.bus = EventBus(nranks=nranks, capacity=capacity if events else 0)
         self.metrics = MetricsRegistry()
         self._bound_backend: Optional[Any] = None
+        # Data tokens: id(value) -> (value, token).  The strong ref on
+        # ``value`` pins it for the run so CPython cannot recycle its id
+        # for a different buffer -- which would corrupt the race
+        # detector's identity tracking.  Telemetry is opt-in, so regular
+        # runs never populate this.
+        self._data_tokens: Dict[int, Tuple[Any, int]] = {}
+
+    def data_token(self, value: Any) -> Optional[int]:
+        """A stable per-run identity token for a trackable data value.
+
+        Trackable means tile-/array-like (has ``clone`` or ``tobytes``,
+        scalars and strings excluded) -- the buffers the race detector
+        follows across ranks.  The same object always yields the same
+        token; distinct live objects always yield distinct tokens.
+        Returns ``None`` for untrackable values (they are not race
+        subjects).
+        """
+        if value is None or isinstance(
+            value, (int, float, complex, str, bytes, bool)
+        ):
+            return None
+        if not (callable(getattr(value, "clone", None))
+                or callable(getattr(value, "tobytes", None))):
+            return None
+        key = id(value)
+        rec = self._data_tokens.get(key)
+        if rec is not None and rec[0] is value:
+            return rec[1]
+        token = len(self._data_tokens) + 1
+        self._data_tokens[key] = (value, token)
+        return token
 
     def bind(self, backend: Any) -> None:
         """Wire the bus to ``backend``'s engine clock and rank count."""

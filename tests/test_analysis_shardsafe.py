@@ -1,0 +1,268 @@
+"""Tests for the static shard-safety pass (SHD rules) and its waivers."""
+
+import textwrap
+import threading
+
+import pytest
+
+from repro import core as ttg
+from repro.analysis.shardsafe import (
+    DEFAULT_AUDIT_MODULES,
+    audit_runtime_modules,
+    expired_waivers,
+    iter_graph_callables,
+    scan_shard_paths,
+    shardsafe_graph,
+    suppressed_findings,
+)
+from repro.core.exceptions import GraphConstructionError
+from repro.runtime import ParsecBackend
+from repro.sim import Cluster, HAWK
+from repro.telemetry.events import Telemetry
+
+# Module global the unsafe fixture's sink assigns to (SHD005).
+_SINK_TOTAL = 0
+
+
+def build_unsafe_graph():
+    """One graph exhibiting every capture-level SHD defect.
+
+    Deliberately the acceptance-criteria fixture: an unpicklable captured
+    lock (SHD001), a live runtime object (SHD002), a nested lambda
+    (SHD003), a mutated free variable (SHD004), a module-global write
+    (SHD005), mutable containers captured by a body (SHD006) and by a
+    map (SHD007).
+    """
+    lock = threading.Lock()
+    tel = Telemetry(nranks=1)
+    tiles = {}
+    counter = 0
+    bump = lambda x: x + 1  # noqa: E731 -- the point is the lambda capture
+
+    e = ttg.Edge("x", key_type=int, value_type=int)
+
+    def gen(key, outs):
+        nonlocal counter
+        counter += 1                       # SHD004
+        with lock:                         # SHD001
+            outs.send(0, key, bump(key))   # SHD003
+
+    def sink(key, v, outs):
+        global _SINK_TOTAL
+        _SINK_TOTAL = v                    # SHD005
+        tiles[key] = (v, tel.bus)          # SHD002 + SHD006
+
+    gen_tt = ttg.make_tt(gen, [], [e], name="GEN", keymap=lambda k: 0)
+    sink_tt = ttg.make_tt(
+        sink, [e], [], name="SINK", keymap=lambda k: 0,
+        priomap=lambda k: len(tiles),      # SHD007
+    )
+    graph = ttg.TaskGraph([gen_tt, sink_tt], name="unsafe")
+    return graph, gen_tt, sink_tt
+
+
+def build_clean_graph():
+    e = ttg.Edge("x", key_type=int, value_type=int)
+
+    def gen(key, outs):
+        outs.send(0, key, key + 1)
+
+    def sink(key, v, outs):
+        pass
+
+    gen_tt = ttg.make_tt(gen, [], [e], name="GEN", keymap=lambda k: 0)
+    sink_tt = ttg.make_tt(sink, [e], [], name="SINK", keymap=lambda k: 0)
+    return ttg.TaskGraph([gen_tt, sink_tt], name="clean")
+
+
+def _ids(findings):
+    return sorted({f.rule.id for f in findings})
+
+
+# ------------------------------------------------------------ the SHD rules
+
+
+def test_unsafe_fixture_triggers_every_capture_rule():
+    graph, _, _ = build_unsafe_graph()
+    findings = shardsafe_graph(graph)
+    assert _ids(findings) == [
+        "SHD001", "SHD002", "SHD003", "SHD004", "SHD005", "SHD006", "SHD007",
+    ]
+
+
+def test_findings_carry_callable_site_locations():
+    graph, _, _ = build_unsafe_graph()
+    by_rule = {f.rule.id: f for f in shardsafe_graph(graph)}
+    assert by_rule["SHD001"].location == "unsafe/GEN.body"
+    assert by_rule["SHD004"].location == "unsafe/GEN.body"
+    assert by_rule["SHD005"].location == "unsafe/SINK.body"
+    assert by_rule["SHD007"].location == "unsafe/SINK.priomap"
+    assert "lock" in by_rule["SHD001"].message
+    assert "counter" in by_rule["SHD004"].message
+    assert "_SINK_TOTAL" in by_rule["SHD005"].message
+
+
+def test_clean_graph_has_no_findings():
+    assert shardsafe_graph(build_clean_graph()) == []
+
+
+def test_severities_split_hard_vs_todo():
+    graph, _, _ = build_unsafe_graph()
+    sev = {f.rule.id: f.rule.severity for f in shardsafe_graph(graph)}
+    # Process-boundary violations are errors; idiomatic closure capture
+    # of application data is a warning (the multiprocess TODO list).
+    for rid in ("SHD001", "SHD002", "SHD004"):
+        assert sev[rid] == "error", rid
+    for rid in ("SHD003", "SHD005", "SHD006", "SHD007"):
+        assert sev[rid] == "warning", rid
+
+
+def test_iter_graph_callables_covers_maps():
+    graph, _, _ = build_unsafe_graph()
+    roles = {(s.tt.name, s.role) for s in iter_graph_callables(graph)}
+    assert ("GEN", "body") in roles
+    assert ("GEN", "keymap") in roles
+    assert ("SINK", "priomap") in roles
+
+
+# ----------------------------------------------------------------- waivers
+
+
+def test_template_waiver_suppresses_rule():
+    graph, _, sink_tt = build_unsafe_graph()
+    sink_tt.lint_waive("SHD006")
+    effective = shardsafe_graph(graph)
+    assert "SHD006" not in _ids(effective)
+    # GEN is untouched by SINK's waiver.
+    assert "SHD001" in _ids(effective)
+
+    raw = shardsafe_graph(graph, honor_waivers=False)
+    assert "SHD006" in _ids(raw)
+    suppressed = suppressed_findings(effective, raw)
+    assert _ids(suppressed) == ["SHD006"]
+
+
+def test_call_level_ignore():
+    graph, _, _ = build_unsafe_graph()
+    all_ids = tuple(_ids(shardsafe_graph(graph)))
+    assert shardsafe_graph(graph, ignore=all_ids) == []
+    partial = shardsafe_graph(graph, ignore=("SHD001", "SHD004"))
+    assert "SHD001" not in _ids(partial)
+    assert "SHD002" in _ids(partial)
+
+
+def test_waiver_with_future_expiry_is_honored():
+    graph, _, sink_tt = build_unsafe_graph()
+    sink_tt.lint_waive("SHD002", expires="2099-01-01")
+    assert "SHD002" not in _ids(shardsafe_graph(graph))
+    assert sink_tt.expired_waivers() == ()
+    assert expired_waivers(graph) == []
+
+
+def test_expired_waiver_fires_hard_again():
+    graph, _, sink_tt = build_unsafe_graph()
+    sink_tt.lint_waive("SHD005", expires="2001-01-01")
+    # Past its date the waiver stops suppressing...
+    assert "SHD005" in _ids(shardsafe_graph(graph))
+    # ...and is reported as expired at both granularities.
+    assert "SHD005" in sink_tt.expired_waivers()
+    assert ("SINK", "SHD005") in expired_waivers(graph)
+
+
+# -------------------------------------------- SHD008: scheduling path scan
+
+
+def _scan_one(source):
+    return scan_shard_paths([("mod", textwrap.dedent(source))])
+
+
+def test_scan_flags_unranked_schedule_call():
+    findings = _scan_one(
+        """
+        def fire(engine, ev, cb):
+            engine.schedule(ev, cb)
+        """
+    )
+    assert _ids(findings) == ["SHD008"]
+    assert findings[0].location == "mod:3"
+    assert "rank=" in findings[0].message
+
+
+def test_scan_accepts_rank_keyword():
+    assert _scan_one(
+        """
+        def fire(engine, ev, cb, r):
+            engine.schedule(ev, cb, rank=r)
+        """
+    ) == []
+
+
+def test_scan_accepts_unranked_ok_annotation():
+    same_line = """
+        def fire(engine, ev, cb):
+            engine.post_local(ev, cb)  # shard-safe: unranked-ok
+        """
+    prev_line = """
+        def fire(engine, ev, cb):
+            # shard-safe: unranked-ok
+            engine.post_local(ev, cb)
+        """
+    assert _scan_one(same_line) == []
+    assert _scan_one(prev_line) == []
+
+
+def test_scan_ignores_unrelated_calls_and_honors_ignore():
+    assert _scan_one("def f(x):\n    return sorted(x)\n") == []
+    bad = [("mod", "def f(e, ev, cb):\n    e.schedule_batch(ev, cb)\n")]
+    assert scan_shard_paths(bad, ignore=("SHD008",)) == []
+
+
+def test_scan_reports_unparseable_source():
+    findings = scan_shard_paths([("mod", "def broken(:\n")])
+    assert _ids(findings) == ["SHD008"]
+    assert "cannot parse" in findings[0].message
+
+
+def test_runtime_self_audit_is_clean():
+    # The repo's own send/fire paths must stay rank-keyed (or carry an
+    # explicit unranked-ok acknowledgment) -- the SHD008 contract the
+    # sharded-engine docstring promises.
+    assert audit_runtime_modules() == []
+    assert "repro.sim.sharded" in DEFAULT_AUDIT_MODULES
+
+
+# ------------------------------------------------- executable integration
+
+
+def _backend(nranks=2):
+    return ParsecBackend(Cluster(HAWK, nranks))
+
+
+def test_strict_executable_raises_on_shd_errors():
+    graph, _, _ = build_unsafe_graph()
+    with pytest.raises(GraphConstructionError) as exc:
+        graph.executable(_backend(), shardsafe=True, strict=True)
+    assert str(exc.value.rule).startswith("SHD")
+
+
+def test_default_executable_warns_and_keeps_findings():
+    graph, _, _ = build_unsafe_graph()
+    with pytest.warns(RuntimeWarning, match="TTG lint: SHD"):
+        ex = graph.executable(_backend(), shardsafe=True)
+    assert "SHD001" in _ids(ex.findings)
+    ex.invoke(graph.tts[0], 0)
+    ex.fence()  # the graph still runs in-process
+
+
+def test_executable_without_shardsafe_skips_pass():
+    graph, _, _ = build_unsafe_graph()
+    ex = graph.executable(_backend())
+    assert not any(f.rule.id.startswith("SHD") for f in ex.findings)
+
+
+def test_validate_shardsafe_reports_strings():
+    graph, _, _ = build_unsafe_graph()
+    plain = graph.validate(nranks=2)
+    sharded = graph.validate(nranks=2, shardsafe=True)
+    assert not any("SHD" in s for s in plain)
+    assert any("SHD001" in s for s in sharded)
