@@ -14,6 +14,7 @@ The benchmark-history watchdog (no experiment argument needed):
     python -m repro.bench --check-regressions            # exit 1 on regression
     python -m repro.bench --check-regressions --record-history --seeds 0,1,2
     python -m repro.bench --record-history --engine sharded --parallel 4
+    python -m repro.bench --record-history --ledger runs/ --live
 
 History lives in ``BENCH_<app>.json`` files (``--history-dir``, default the
 current directory); see :mod:`repro.bench.history`.  The append-only files
@@ -146,6 +147,8 @@ def run_watchdog_cli(args: argparse.Namespace) -> int:
         if args.threshold is not None else None,
         engine=args.engine,
         parallel=args.parallel,
+        ledger_dir=args.ledger,
+        live=args.live,
     )
     for report in reports:
         print(report.format())
@@ -211,6 +214,12 @@ def main(argv=None) -> int:
     wd.add_argument("--parallel", type=int, default=0, metavar="N",
                     help="fan the (app, seed) matrix cells out over N worker "
                     "processes (0 = inline; implied by --engine mp)")
+    wd.add_argument("--ledger", default=None, metavar="DIR",
+                    help="write one append-only run ledger per matrix cell "
+                    "into DIR (tail with: python -m repro.telemetry watch)")
+    wd.add_argument("--live", action="store_true",
+                    help="stream a console progress dashboard while each "
+                    "cell runs (implies in-process ledger records)")
     wd.add_argument("--keep", type=int, default=50, metavar="N",
                     help="prune: non-baseline records to keep per config "
                     "group (default 50)")
@@ -245,6 +254,14 @@ def main(argv=None) -> int:
                 run_figure(name, args.max_nodes)
         elif args.experiment != "table1":
             run_figure(args.experiment, args.max_nodes)
+
+    if args.ledger is not None or args.live:
+        from repro.telemetry.ledger import ledger_capture
+
+        with ledger_capture(args.ledger or ".", live=args.live,
+                            prefix=args.experiment or "bench"):
+            run_all()
+        return 0
 
     if args.telemetry is not None:
         from repro.telemetry.adapter import capture

@@ -573,9 +573,43 @@ def _instrumented_cluster(nodes: int, workers: int, engine: str):
     return cluster, tel
 
 
+def _attach_ledger(
+    backend: Any, app: str, seed: int, engine: str,
+    ledger_dir: Optional[str], live: bool,
+) -> None:
+    """Arm the run ledger on a watchdog backend (``--ledger`` / ``--live``).
+
+    Writes ``<dir>/<app>-seed<seed>-<engine>.ledger.jsonl``; with ``live``
+    a console dashboard renders in-process as records stream.  No-op when
+    neither is requested.  Ledger params deliberately stay OUT of the
+    record config (observability must not fork the watchdog's config
+    groups).
+    """
+    if ledger_dir is None and not live:
+        return
+    from repro.telemetry.ledger import LedgerWriter
+
+    path = None
+    if ledger_dir is not None:
+        Path(ledger_dir).mkdir(parents=True, exist_ok=True)
+        path = str(Path(ledger_dir) / f"{app}-seed{seed}-{engine}.ledger.jsonl")
+    sinks: tuple = ()
+    if live:
+        from repro.telemetry.live import LiveRenderer
+
+        sinks = (LiveRenderer().feed,)
+    writer = LedgerWriter(
+        path, run_id=f"{app}-seed{seed}-{engine}", sinks=sinks,
+        meta={"app": app, "seed": seed, "engine": engine,
+              "nranks": backend.nranks},
+    )
+    backend.attach_ledger(writer)
+
+
 def measure_potrf(
     seed: int = 0, *, nodes: int = 4, n: int = 1024, b: int = 128,
     workers: int = 4, engine: str = "seq",
+    ledger_dir: Optional[str] = None, live: bool = False,
 ) -> BenchRecord:
     """One telemetry-instrumented POTRF run on the scaled Hawk machine."""
     from time import perf_counter
@@ -587,9 +621,11 @@ def measure_potrf(
     a = TiledMatrix(n, b, SeededBlockCyclic.for_ranks(nodes, seed), synthetic=True)
     cluster, tel = _instrumented_cluster(nodes, workers, engine)
     backend = ParsecBackend(cluster, telemetry=tel)
+    _attach_ledger(backend, "potrf", seed, engine, ledger_dir, live)
     t0 = perf_counter()
     res = cholesky_ttg(a, backend)
     host = perf_counter() - t0
+    backend.close_ledger()
     config = {"machine": "hawk", "nodes": nodes, "workers": workers,
               "n": n, "b": b}
     return _observed_record("potrf", res, tel, config=config, seed=seed,
@@ -600,6 +636,7 @@ def measure_potrf(
 def measure_fw(
     seed: int = 0, *, nodes: int = 4, n: int = 896, b: int = 128,
     workers: int = 4, engine: str = "seq",
+    ledger_dir: Optional[str] = None, live: bool = False,
 ) -> BenchRecord:
     """One telemetry-instrumented FW-APSP run on the scaled Hawk machine."""
     from time import perf_counter
@@ -611,9 +648,11 @@ def measure_fw(
     w = TiledMatrix(n, b, SeededBlockCyclic.for_ranks(nodes, seed), synthetic=True)
     cluster, tel = _instrumented_cluster(nodes, workers, engine)
     backend = ParsecBackend(cluster, telemetry=tel)
+    _attach_ledger(backend, "fw", seed, engine, ledger_dir, live)
     t0 = perf_counter()
     res = floyd_warshall_ttg(w, backend)
     host = perf_counter() - t0
+    backend.close_ledger()
     config = {"machine": "hawk", "nodes": nodes, "workers": workers,
               "n": n, "b": b}
     return _observed_record("fw", res, tel, config=config, seed=seed,
@@ -624,6 +663,7 @@ def measure_fw(
 def measure_bspmm(
     seed: int = 0, *, nodes: int = 4, natoms: int = 30, target_tile: int = 24,
     workers: int = 4, engine: str = "seq",
+    ledger_dir: Optional[str] = None, live: bool = False,
 ) -> BenchRecord:
     """One block-sparse SUMMA (BSPMM) run on a Yukawa-structured matrix.
 
@@ -639,9 +679,11 @@ def measure_bspmm(
     a = yukawa_blocksparse(natoms, target_tile=target_tile, seed=seed)
     cluster, tel = _instrumented_cluster(nodes, workers, engine)
     backend = ParsecBackend(cluster, telemetry=tel)
+    _attach_ledger(backend, "bspmm", seed, engine, ledger_dir, live)
     t0 = perf_counter()
     res = bspmm_ttg(a, a, backend)
     host = perf_counter() - t0
+    backend.close_ledger()
     config = {"machine": "hawk", "nodes": nodes, "workers": workers,
               "natoms": natoms, "tile": target_tile}
     return _observed_record("bspmm", res, tel, config=config, seed=seed,
@@ -652,6 +694,7 @@ def measure_bspmm(
 def measure_mra(
     seed: int = 0, *, nodes: int = 4, nfuncs: int = 8, k: int = 4,
     workers: int = 4, engine: str = "seq",
+    ledger_dir: Optional[str] = None, live: bool = False,
 ) -> BenchRecord:
     """One MRA (project/compress/reconstruct/norm) run over a seeded batch
     of sharp Gaussians (no Gflop/s figure: the workload is tree-structured,
@@ -664,9 +707,11 @@ def measure_mra(
     functions = random_gaussians(nfuncs, seed=seed)
     cluster, tel = _instrumented_cluster(nodes, workers, engine)
     backend = ParsecBackend(cluster, telemetry=tel)
+    _attach_ledger(backend, "mra", seed, engine, ledger_dir, live)
     t0 = perf_counter()
     res = mra_ttg(functions, backend, k=k, thresh=1.0e-4, max_level=6)
     host = perf_counter() - t0
+    backend.close_ledger()
     config = {"machine": "hawk", "nodes": nodes, "workers": workers,
               "nfuncs": nfuncs, "k": k}
     return _observed_record("mra", res, tel, config=config, seed=seed,
@@ -708,6 +753,8 @@ def measure_matrix(
     *,
     engine: str = "seq",
     parallel: int = 0,
+    ledger_dir: Optional[str] = None,
+    live: bool = False,
 ) -> Dict[str, List[BenchRecord]]:
     """Seed-swept measurements of the watchdog matrix, grouped by app.
 
@@ -715,15 +762,24 @@ def measure_matrix(
     ``parallel > 1`` additionally fans the (app, seed) cells out over that
     many worker processes (run-granularity host parallelism -- see
     :mod:`repro.bench.parallel`; results are deterministic and ordered
-    regardless).
+    regardless).  ``ledger_dir`` writes one run ledger per cell (the cell
+    specs stay picklable, so forked workers write their own files);
+    ``live`` streams a console dashboard per cell.
     """
     for app in apps:
         if app not in MEASUREMENTS:
             raise ValueError(
                 f"unknown watchdog app {app!r} (have: {sorted(MEASUREMENTS)})"
             )
-    cells = [{"app": app, "seed": seed, "engine": engine}
-             for app in apps for seed in seeds]
+    cells = []
+    for app in apps:
+        for seed in seeds:
+            cell: Dict[str, Any] = {"app": app, "seed": seed, "engine": engine}
+            if ledger_dir is not None:
+                cell["ledger_dir"] = ledger_dir
+            if live:
+                cell["live"] = True
+            cells.append(cell)
     if parallel > 1:
         from repro.bench.parallel import run_cells
 
@@ -747,6 +803,8 @@ def run_watchdog(
     thresholds: Optional[Dict[str, float]] = None,
     engine: str = "seq",
     parallel: int = 0,
+    ledger_dir: Optional[str] = None,
+    live: bool = False,
 ) -> Tuple[List[RegressionReport], List[Path]]:
     """The full record / baseline / check cycle the CLI drives.
 
@@ -754,10 +812,12 @@ def run_watchdog(
       candidates (plus any trailing non-baseline records already stored).
     - ``record``: append the fresh records to the ``BENCH_*.json`` files.
     - ``update_baseline``: mark the fresh records as baseline.
-    - ``engine`` / ``parallel``: forwarded to :func:`measure_matrix`.
+    - ``engine`` / ``parallel`` / ``ledger_dir`` / ``live``: forwarded to
+      :func:`measure_matrix`.
     Returns the per-app reports and the paths written (if any).
     """
-    fresh = (measure_matrix(apps, seeds, engine=engine, parallel=parallel)
+    fresh = (measure_matrix(apps, seeds, engine=engine, parallel=parallel,
+                            ledger_dir=ledger_dir, live=live)
              if measure else {a: [] for a in apps})
     reports: List[RegressionReport] = []
     written: List[Path] = []

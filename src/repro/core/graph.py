@@ -269,6 +269,9 @@ class Executable:
         race detector over the recorded event stream; findings land on
         :attr:`race_findings` (strict mode raises instead).
         """
+        if self.backend.ledger is not None:
+            self.backend.ledger.phase("fence", sim=self.backend.engine.now,
+                                      graph=self.graph.name)
         makespan = self.backend.run(max_events=max_events)
         if self.sanitizer is not None and max_events is None:
             self.sanitizer.on_shutdown()

@@ -226,11 +226,12 @@ class WorkerPool:
             duration = self._node.gpu_compute_time(task.flops, transfer)
             engine.schedule_at(
                 start + duration, self._complete_gpu, task, slot, start,
-                rank=self.rank
+                transfer, rank=self.rank
             )
 
     def _record_task(self, backend: "Backend", name: str, task: _ReadyTask,
-                     tid: int, start: float) -> None:
+                     tid: int, start: float,
+                     pcie_bytes: Optional[int] = None) -> None:
         end = backend.engine.now
         if backend.tracer is not None:
             backend.tracer.record_task(name, task.key, self.rank, tid, start, end)
@@ -238,6 +239,10 @@ class WorkerPool:
         if tel is not None:
             args = {"key": repr(task.key), "template": task.name,
                     "priority": task.priority}
+            if pcie_bytes is not None:
+                # Accelerator tasks carry their host->device traffic so
+                # the report can split PCIe bytes out of the byte budget.
+                args["pcie_bytes"] = pcie_bytes
             if tel.bus.enabled:
                 # Data tokens of trackable inputs: the race detector uses
                 # them to see which rank shards observed a buffer live.
@@ -266,10 +271,11 @@ class WorkerPool:
             backend.termination.task_retired(self.rank)
             self._dispatch()
 
-    def _complete_gpu(self, task: _ReadyTask, slot: int, start: float) -> None:
+    def _complete_gpu(self, task: _ReadyTask, slot: int, start: float,
+                      transfer: int = 0) -> None:
         backend = self.backend
         self._record_task(backend, f"{task.name}@gpu", task,
-                          self.nworkers + slot, start)
+                          self.nworkers + slot, start, pcie_bytes=transfer)
         backend.stats.tasks_executed += 1
         stats = backend.stats.tasks_by_template
         stats[task.name] = stats.get(task.name, 0) + 1
@@ -305,6 +311,11 @@ class Backend:
         # Telemetry hook point: attach_telemetry arms every layer's hooks.
         # None => the default path pays one attribute load + branch.
         self.telemetry = None
+        # Run-ledger hook point (attach_ledger): a LedgerWriter streaming
+        # phase/heartbeat/progress records to disk during execution.
+        # None => zero ledger I/O and no engine hooks installed.
+        self.ledger = None
+        self._health = None
         self.termination = TerminationDetector()
         # Sharded engines get per-rank conservation ledgers so quiescence
         # can be attributed to individual shards in diagnostics.
@@ -336,6 +347,51 @@ class Backend:
         self.termination.telemetry = telemetry
         for pool in self.pools:
             pool.enable_telemetry(telemetry)
+
+    def attach_ledger(self, ledger: Any, heartbeat_every: int = 2048) -> None:
+        """Stream this execution into ``ledger`` (a
+        :class:`~repro.telemetry.ledger.LedgerWriter`).
+
+        Emits the ``build`` phase immediately, installs the engine
+        heartbeat hook (a heartbeat plus an incremental progress snapshot
+        at least every ``heartbeat_every`` events -- flushed *during*
+        execution, so a killed run leaves its last snapshot on disk), and
+        on sharded engines arms the
+        :class:`~repro.telemetry.health.ShardHealthProfiler` for
+        per-window health records.
+        """
+        self.ledger = ledger
+        ledger.phase("build", sim=self.engine.now,
+                     nranks=self.nranks, engine=type(self.engine).__name__)
+
+        def _heartbeat(now: float, events: int) -> None:
+            ledger.heartbeat(now, events)
+            self._ledger_progress(now)
+
+        self.engine.on_heartbeat = _heartbeat
+        self.engine.heartbeat_every = heartbeat_every
+        if getattr(self.engine, "nshards", 0) > 1:
+            from repro.telemetry.health import ShardHealthProfiler
+
+            self._health = ShardHealthProfiler(self)
+            self._health.attach()
+
+    def _ledger_progress(self, sim: float) -> None:
+        """One incremental progress snapshot from the live run counters.
+
+        ``tasks_total`` is the termination detector's created count --
+        TTG task graphs are dynamic, so the total grows as execution
+        discovers work; the watch layer treats it as a moving target.
+        """
+        term = self.termination
+        self.ledger.progress(
+            sim,
+            tasks_done=term.tasks_retired,
+            tasks_total=term.tasks_created,
+            by_template=self.stats.tasks_by_template,
+            bytes_by_protocol=self.stats.bytes_by_protocol,
+            events=self.engine.events_processed,
+        )
 
     # ------------------------------------------------------------------ info
 
@@ -622,8 +678,14 @@ class Backend:
         life-cycle (every splitmd source released -- the PaRSEC backend
         owns the data flowing through the graph, so a leak is a bug).
         """
+        ledger = self.ledger
+        if ledger is not None:
+            ledger.phase("execute", sim=self.engine.now)
         self.engine.run(max_events=max_events)
         self.termination.validate()
+        if ledger is not None:
+            ledger.phase("drain", sim=self.engine.now)
+            self._ledger_progress(self.engine.now)
         if self.sanitizer is not None and max_events is None:
             self.sanitizer.on_backend_drain(self)
         if max_events is None and self.rma.live_handles():
@@ -637,3 +699,18 @@ class Backend:
         if self.telemetry is not None:
             self.telemetry.metrics.gauge("makespan").set(self.engine.now)
         return self.engine.now
+
+    def close_ledger(self) -> None:
+        """Seal the attached ledger (final snapshot + health summary) and
+        disarm the engine hooks.  Idempotent; no-op without a ledger."""
+        ledger = self.ledger
+        if ledger is None:
+            return
+        extra = self._health.summary() if self._health is not None else {}
+        ledger.close(self.engine.now, makespan=self.stats.makespan, **extra)
+        self.engine.on_heartbeat = None
+        self.engine.heartbeat_every = 0
+        if self._health is not None:
+            self._health.detach()
+            self._health = None
+        self.ledger = None  # a later fence() must not write a sealed ledger

@@ -112,6 +112,14 @@ class Engine:
         self._seq: int = 0
         self._events_processed: int = 0
         self._running: bool = False
+        # Heartbeat hook: when ``on_heartbeat`` is set and
+        # ``heartbeat_every`` > 0, ``run`` calls
+        # ``on_heartbeat(now, events_processed)`` at least every that many
+        # events.  Disabled (the default) it costs one integer truthiness
+        # check per heap entry -- this loop is the host-time hot path, so
+        # the hook must stay invisible when off.
+        self.on_heartbeat: Optional[Callable[[float, int], None]] = None
+        self.heartbeat_every: int = 0
 
     @property
     def now(self) -> float:
@@ -248,8 +256,14 @@ class Engine:
         self._running = True
         heap = self._heap
         n = 0
+        on_heartbeat = self.on_heartbeat
+        hb_every = self.heartbeat_every if on_heartbeat is not None else 0
+        hb_next = self._events_processed + hb_every
         try:
             while heap:
+                if hb_every and self._events_processed >= hb_next:
+                    on_heartbeat(self._now, self._events_processed)
+                    hb_next = self._events_processed + hb_every
                 time, seq, payload = heap[0]
                 if until is not None and time > until:
                     self._now = until

@@ -97,6 +97,12 @@ class ShardedEngine(Engine):
         self.windows_executed: int = 0
         self.window_deferred: int = 0
         self.max_batch: int = 0
+        # Health hook: when set, ``run`` calls ``on_window(stats)`` after
+        # every conservative window completes, with a dict of that
+        # window's vitals (see :meth:`_window_stats`).  Per-shard event
+        # counting only happens while the hook is set, so the default
+        # costs one ``is None`` check per window.
+        self.on_window: Optional[Callable[[dict], None]] = None
 
     # --------------------------------------------------------------- binding
 
@@ -239,6 +245,12 @@ class ShardedEngine(Engine):
         shards = self._shards
         incoming = self._incoming
         n = 0
+        on_window = self.on_window
+        on_heartbeat = self.on_heartbeat
+        hb_every = self.heartbeat_every if on_heartbeat is not None else 0
+        hb_next = self._events_processed + hb_every
+        events_by_shard: List[int] = []
+        ev_base = def_base = 0
         try:
             while True:
                 top = self._min_top()
@@ -258,9 +270,25 @@ class ShardedEngine(Engine):
                     window_end = until
                 # ---- collect: drain every shard's slice of the window.
                 batch: List[Tuple[float, int, Any]] = []
-                for heap in shards:
-                    while heap and heap[0][0] <= window_end:
-                        batch.append(heappop(heap))
+                if on_window is not None:
+                    # Per-shard attribution only while profiled: count the
+                    # events each shard contributed to this window.
+                    ev_base = self._events_processed
+                    def_base = self.window_deferred
+                    events_by_shard = [0] * self.nshards
+                    for s, heap in enumerate(shards):
+                        drained = 0
+                        while heap and heap[0][0] <= window_end:
+                            entry = heappop(heap)
+                            payload = entry[2]
+                            drained += (len(payload) if type(payload) is list
+                                        else 1)
+                            batch.append(entry)
+                        events_by_shard[s] = drained
+                else:
+                    for heap in shards:
+                        while heap and heap[0][0] <= window_end:
+                            batch.append(heappop(heap))
                 batch.sort()
                 self._window_end = window_end
                 self.windows_executed += 1
@@ -328,9 +356,44 @@ class ShardedEngine(Engine):
                     self._window_end = float("-inf")
                     while incoming:
                         heappush(shards[0], heappop(incoming))
+                if on_window is not None:
+                    on_window(self._window_stats(
+                        t0, window_end, m, events_by_shard,
+                        self._events_processed - ev_base,
+                        self.window_deferred - def_base))
+                if hb_every and self._events_processed >= hb_next:
+                    on_heartbeat(self._now, self._events_processed)
+                    hb_next = self._events_processed + hb_every
         finally:
             self._running = False
             self._window_end = float("-inf")
+
+    def _window_stats(
+        self, t0: float, window_end: float, batch: int,
+        events_by_shard: List[int], executed: int, deferred: int,
+    ) -> dict:
+        """One completed window's vitals, for the ``on_window`` hook.
+
+        Heap depths and the clock-skew gauge are sampled *after* the
+        window: depth is queued entries left per shard, skew is the
+        spread of the shard heaps' next-event times -- how far apart the
+        ranks' frontiers sit, i.e. how much conservative synchronization
+        costs right now.
+        """
+        tops = [h[0][0] for h in self._shards if h]
+        return {
+            "window": self.windows_executed,
+            "t0": t0,
+            "end": window_end,
+            "width": window_end - t0,
+            "lookahead": self.lookahead or 0.0,
+            "batch": batch,
+            "executed": executed,
+            "deferred": deferred,
+            "events_by_shard": events_by_shard,
+            "heap_depths": [len(h) for h in self._shards],
+            "clock_skew": (max(tops) - min(tops)) if len(tops) > 1 else 0.0,
+        }
 
     def reset(self) -> None:
         super().reset()

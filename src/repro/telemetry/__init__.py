@@ -21,8 +21,16 @@ records into:
 - :mod:`repro.telemetry.report_html` -- dependency-free single-file HTML
   run reports (inline-SVG Gantt with critical-path highlight, tables,
   sparklines, benchmark-history trend charts).
+- :mod:`repro.telemetry.ledger` -- the append-only, versioned **run
+  ledger**: phase transitions, heartbeats and progress snapshots flushed
+  to JSONL *during* execution, so a killed run stays inspectable.
+- :mod:`repro.telemetry.health` -- the sharded-engine health profiler
+  (per-window width/batch/imbalance records, heap-depth and clock-skew
+  gauges, quiescence timeline).
+- :mod:`repro.telemetry.live` -- streaming progress: tail a ledger and
+  render a dependency-free console dashboard.
 - ``python -m repro.telemetry`` -- record / report / report-html /
-  export / critical-path / compare / validate CLI
+  export / critical-path / compare / validate / watch CLI
   (:mod:`repro.telemetry.cli`).
 
 Telemetry is off by default and adds only a ``None``-check per hook when
@@ -43,6 +51,7 @@ from repro.telemetry.events import (
     Telemetry,
     TelemetryError,
     TID_AM,
+    TID_ENG,
     TID_PROTO,
     TID_RMA,
     TID_RT,
@@ -71,6 +80,18 @@ from repro.telemetry.report_html import (
     render_report,
     write_report_html,
 )
+from repro.telemetry.ledger import (
+    LEDGER_SCHEMA,
+    LEDGER_VERSION,
+    LedgerSnapshot,
+    LedgerWriter,
+    ledger_capture,
+    read_ledger,
+    replay_path,
+    validate_ledger,
+)
+from repro.telemetry.health import ShardHealthProfiler
+from repro.telemetry.live import LiveRenderer, render_dashboard, watch
 
 __all__ = [
     "CounterEvent",
@@ -80,6 +101,7 @@ __all__ = [
     "Telemetry",
     "TelemetryError",
     "TID_AM",
+    "TID_ENG",
     "TID_PROTO",
     "TID_RMA",
     "TID_RT",
@@ -106,4 +128,16 @@ __all__ = [
     "load_histories",
     "render_report",
     "write_report_html",
+    "LEDGER_SCHEMA",
+    "LEDGER_VERSION",
+    "LedgerSnapshot",
+    "LedgerWriter",
+    "ledger_capture",
+    "read_ledger",
+    "replay_path",
+    "validate_ledger",
+    "ShardHealthProfiler",
+    "LiveRenderer",
+    "render_dashboard",
+    "watch",
 ]

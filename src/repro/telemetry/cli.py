@@ -22,8 +22,14 @@ Subcommands:
 - ``critical-path LOG.jsonl`` -- longest task chain of a recording.
 - ``export LOG.jsonl -o trace.json`` -- convert JSONL to Chrome trace.
 - ``compare A.json B.json`` -- counter deltas between two counters JSONs.
-- ``validate trace.json`` -- schema-check a Chrome trace file; traces
-  recorded on an overflowing ring buffer fail unless ``--allow-drops``.
+- ``validate FILE`` -- schema-check a Chrome trace *or* a run ledger
+  (auto-detected); diagnostics name the schema version, ``--json`` emits
+  a machine-readable result, and traces recorded on an overflowing ring
+  buffer fail unless ``--allow-drops``.
+- ``watch RUN.ledger.jsonl`` -- tail a run ledger (live or completed)
+  and render a console dashboard: phase rail, per-template progress
+  bars, byte split, ETA, and sharded-engine window health.  ``--once``
+  renders the current state without following.
 
 Exit status 0 on success; 1 when the script crashed, a validation found
 problems, or nothing was recorded.
@@ -190,27 +196,115 @@ def cmd_compare(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+def _sniff_ledger(path: str) -> bool:
+    """Whether ``path`` looks like a run ledger (JSONL, ``ledger_open``
+    header) rather than a single-document Chrome trace."""
+    try:
+        with open(path) as fh:
+            first = fh.readline()
+        rec = json.loads(first)
+    except (OSError, ValueError):
+        return False
+    return isinstance(rec, dict) and rec.get("type") == "ledger_open"
+
+
 def cmd_validate(args: argparse.Namespace, out: TextIO) -> int:
+    """Schema-check a Chrome trace or a run ledger (auto-detected).
+
+    Every diagnostic names the schema version it was checked against;
+    ``--json`` emits one machine-readable result object for CI.
+    """
+    result: dict = {"file": args.trace, "valid": False, "problems": []}
+
+    if _sniff_ledger(args.trace):
+        from repro.telemetry.ledger import (
+            LEDGER_VERSION, read_ledger, replay, validate_ledger,
+        )
+
+        records = read_ledger(args.trace)
+        version = records[0].get("version", "?") if records else "?"
+        result.update(kind="ledger", schema_version=version,
+                      supported_version=LEDGER_VERSION)
+        problems = validate_ledger(records)
+        result["problems"] = problems
+        result["valid"] = not problems
+        snap = replay(records)
+        result["complete"] = snap.complete
+        result["records"] = len(records)
+        if args.json:
+            json.dump(result, out, indent=2)
+            print(file=out)
+            return 0 if result["valid"] else 1
+        if problems:
+            print(f"{args.trace}: INVALID ledger (schema v{version}, "
+                  f"validator supports v{LEDGER_VERSION}):", file=out)
+            for p in problems:
+                print(f"  {p}", file=out)
+            return 1
+        state = "complete" if snap.complete else "truncated (no ledger_close)"
+        print(f"{args.trace}: valid run ledger schema v{version} "
+              f"({len(records)} records, {state})", file=out)
+        return 0
+
+    from repro.telemetry.export import TRACE_SCHEMA_VERSION
+
     with open(args.trace) as fh:
         data = json.load(fh)
+    version = 0
+    if isinstance(data, dict):
+        version = data.get("otherData", {}).get("schemaVersion", 0)
+    result.update(kind="trace", schema_version=version,
+                  supported_version=TRACE_SCHEMA_VERSION)
     problems = validate_chrome_trace(data)
-    if problems:
-        for p in problems:
-            print(p, file=out)
-        return 1
     dropped = 0
     if isinstance(data, dict):
         counts = data.get("otherData", {}).get("dropped", [])
         dropped = sum(counts) if isinstance(counts, list) else 0
-    if dropped and not args.allow_drops:
-        print(f"{args.trace}: schema ok, but {dropped} event(s) were "
-              f"evicted from the ring buffers during recording -- the "
-              f"trace is truncated and analyses over it are skewed "
-              f"(pass --allow-drops to accept, or re-record with a "
-              f"larger --capacity)", file=out)
+    result["dropped"] = dropped
+    if not problems and dropped and not args.allow_drops:
+        problems = [
+            f"{dropped} event(s) were evicted from the ring buffers "
+            f"during recording -- the trace is truncated and analyses "
+            f"over it are skewed (pass --allow-drops to accept, or "
+            f"re-record with a larger --capacity)"
+        ]
+    result["problems"] = problems
+    result["valid"] = not problems
+    if args.json:
+        json.dump(result, out, indent=2)
+        print(file=out)
+        return 0 if result["valid"] else 1
+    if problems:
+        print(f"{args.trace}: INVALID Chrome trace (schema v{version}, "
+              f"validator supports v{TRACE_SCHEMA_VERSION}):", file=out)
+        for p in problems[:50]:
+            print(f"  {p}", file=out)
         return 1
     suffix = f" ({dropped} drops allowed)" if dropped else ""
-    print(f"{args.trace}: valid Chrome trace{suffix}", file=out)
+    print(f"{args.trace}: valid Chrome trace schema v{version}{suffix}",
+          file=out)
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.telemetry.live import watch
+
+    try:
+        snap = watch(
+            args.ledger, stream=out, follow=not args.once,
+            poll=args.interval, idle_timeout=args.timeout, width=args.width,
+        )
+    except BrokenPipeError:
+        return 0  # downstream consumer (head, less) closed the pipe
+    except OSError as e:
+        try:
+            print(f"cannot read {args.ledger}: {e}", file=out)
+        except BrokenPipeError:
+            pass
+        return 1
+    if snap.records == 0:
+        print(f"{args.ledger}: no ledger records", file=out)
+        return 1
     return 0
 
 
@@ -277,11 +371,29 @@ def main(argv: Optional[Sequence[str]] = None, stream: TextIO = None) -> int:
                    help="hide counters with zero delta")
     p.set_defaults(fn=cmd_compare)
 
-    p = sub.add_parser("validate", help="schema-check a Chrome trace file")
-    p.add_argument("trace")
+    p = sub.add_parser(
+        "validate",
+        help="schema-check a Chrome trace or run ledger (auto-detected)")
+    p.add_argument("trace", help="TRACE.json or RUN.ledger.jsonl")
     p.add_argument("--allow-drops", action="store_true",
                    help="accept traces recorded with ring-buffer evictions")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable result object")
     p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser(
+        "watch", help="tail a run ledger as a live console dashboard")
+    p.add_argument("ledger", metavar="RUN.ledger.jsonl")
+    p.add_argument("--once", action="store_true",
+                   help="render the current state once instead of following")
+    p.add_argument("--interval", type=float, default=0.2, metavar="SEC",
+                   help="poll interval while following (default 0.2)")
+    p.add_argument("--timeout", type=float, default=5.0, metavar="SEC",
+                   help="give up after SEC with no new records (default 5; "
+                        "the last flushed snapshot has been shown by then)")
+    p.add_argument("--width", type=int, default=72,
+                   help="dashboard width in columns")
+    p.set_defaults(fn=cmd_watch)
 
     args = parser.parse_args(argv)
     out = stream or sys.stdout

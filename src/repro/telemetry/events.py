@@ -40,6 +40,7 @@ TID_RMA = 901      #: one-sided transfers landing at the origin
 TID_PROTO = 902    #: serialization-protocol phases (eager, splitmd meta/rma)
 TID_SAN = 903      #: TTG-San findings
 TID_RT = 904       #: runtime housekeeping (quiescence, stream control, deps)
+TID_ENG = 905      #: event-engine health (conservative windows, heartbeats)
 
 THREAD_NAMES = {
     TID_AM: "am-server",
@@ -47,6 +48,7 @@ THREAD_NAMES = {
     TID_PROTO: "protocol",
     TID_SAN: "ttg-san",
     TID_RT: "runtime",
+    TID_ENG: "engine",
 }
 
 
@@ -142,6 +144,11 @@ class EventBus:
         self.ensure_ranks(max(1, nranks))
         self._stacks: Dict[Tuple[int, int], List[_OpenSpan]] = {}
         self._flow_ids = itertools.count(1)
+        # Streaming subscribers: called with every event as it is recorded
+        # (even in capacity=0 metrics-only mode -- a subscriber is a live
+        # consumer, not a buffer).  Empty by default: one truthiness check
+        # on the hot append path.
+        self._subscribers: List[Callable[[Any], None]] = []
 
     # ------------------------------------------------------------- plumbing
 
@@ -164,7 +171,23 @@ class EventBus:
         """A fresh id linking related spans (exported as a flow arrow)."""
         return next(self._flow_ids)
 
+    def subscribe(self, fn: Callable[[Any], None]) -> Callable[[Any], None]:
+        """Stream every subsequently recorded event to ``fn``.
+
+        Subscribers see events even in metrics-only mode (``capacity=0``):
+        streaming does not require buffering.  Returns ``fn`` so the call
+        can be used inline; detach with :meth:`unsubscribe`.
+        """
+        self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Callable[[Any], None]) -> None:
+        self._subscribers.remove(fn)
+
     def _append(self, rank: int, ev: Any) -> None:
+        if self._subscribers:
+            for fn in self._subscribers:
+                fn(ev)
         if self.capacity == 0:
             return
         if rank >= len(self._rings):

@@ -29,6 +29,11 @@ from repro.telemetry.events import (
 
 _US = 1e6  # seconds -> microseconds
 
+#: Version stamped into ``otherData.schemaVersion`` of every exported
+#: trace; ``validate`` reports it in diagnostics.  Traces written before
+#: this field existed read back as version 0.
+TRACE_SCHEMA_VERSION = 1
+
 #: phases of the trace-event format this exporter emits / the validator knows
 _PHASES = {"X", "i", "I", "C", "M", "s", "t", "f", "B", "E"}
 
@@ -128,6 +133,7 @@ def to_chrome_trace(source: Union[Telemetry, EventBus]) -> Dict[str, Any]:
         "traceEvents": to_chrome_events(bus),
         "displayTimeUnit": "ms",
         "otherData": {"producer": "repro.telemetry",
+                      "schemaVersion": TRACE_SCHEMA_VERSION,
                       "dropped": list(bus.dropped)},
     }
 

@@ -1,0 +1,275 @@
+"""Streaming progress: tail a run ledger and render a console dashboard.
+
+Dependency-free by design (plain ANSI, no curses): the dashboard is a
+pure function of a :class:`~repro.telemetry.ledger.LedgerSnapshot`, so
+the same renderer serves three consumers --
+
+- ``python -m repro.telemetry watch <run.ledger.jsonl>`` tails a ledger
+  file (live or completed: the tailer reads what exists, then polls for
+  appended lines until ``ledger_close`` or the writer goes quiet);
+- :class:`LiveRenderer` plugs directly into a
+  :class:`~repro.telemetry.ledger.LedgerWriter` as a sink (the bench
+  ``--live`` flag), rendering in-process with no file round trip;
+- tests call :func:`render_dashboard` on a replayed snapshot and assert
+  on plain text.
+
+The dashboard shows the phase rail, per-template progress bars, overall
+task progress with a host-time ETA, byte split by protocol, and -- when
+the run executed on the sharded engine -- per-rank activity and
+conservative-window statistics from the health records.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Dict, IO, Iterator, List, Optional
+
+from repro.telemetry.ledger import PHASES, LedgerSnapshot, replay
+
+#: Default dashboard width (columns).
+WIDTH = 72
+
+_BLOCKS = " .:-=+*#"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A unicode-free progress bar: ``[#####....]`` at ``width`` cells."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _spark(values: List[float], width: int) -> str:
+    """Downsampled ASCII sparkline of ``values`` in ``width`` chars."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Bucket-mean downsample to the available columns.
+        step = len(values) / width
+        values = [
+            sum(values[int(i * step):max(int((i + 1) * step), int(i * step) + 1)])
+            / max(len(values[int(i * step):max(int((i + 1) * step), int(i * step) + 1)]), 1)
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        _BLOCKS[int((v - lo) / span * (len(_BLOCKS) - 1))] for v in values
+    )
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024.0
+    return f"{n:.1f}GiB"  # pragma: no cover - unreachable
+
+
+def _fmt_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--"
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+
+
+def render_dashboard(snap: LedgerSnapshot, width: int = WIDTH) -> str:
+    """The full dashboard for one snapshot, as a multi-line string."""
+    lines: List[str] = []
+    rule = "=" * width
+    status = "complete" if snap.complete else (
+        "running" if snap.phase else "starting")
+    lines.append(rule)
+    lines.append(f"run {snap.run_id or '?'}  "
+                 f"[ledger v{snap.schema_version}]  {status}")
+    rail = "  ".join(
+        (f"[{p}]" if p == snap.phase else p) if p in snap.phases_seen
+        else f"({p})"
+        for p in PHASES
+    )
+    lines.append(f"phase: {rail}")
+    lines.append(f"sim-clock: {snap.sim:.6f}s   events: {snap.events:,}   "
+                 f"heartbeats: {snap.heartbeats}")
+    # ---- overall progress + ETA
+    barw = max(width - 34, 10)
+    pct = snap.progress_fraction * 100.0
+    lines.append("")
+    lines.append(
+        f"tasks  [{_bar(snap.progress_fraction, barw)}] "
+        f"{snap.tasks_done}/{snap.tasks_total} ({pct:.1f}%)  "
+        f"eta {_fmt_eta(snap.eta_seconds())}"
+    )
+    # ---- per-template bars (done counts; totals are not known per
+    # template in a dynamic task graph, so bars are relative to the
+    # busiest template).
+    if snap.by_template:
+        lines.append("")
+        lines.append("templates:")
+        peak = max(snap.by_template.values()) or 1
+        namew = min(max(len(n) for n in snap.by_template), 16)
+        for name in sorted(snap.by_template):
+            done = snap.by_template[name]
+            lines.append(
+                f"  {name[:namew]:<{namew}} "
+                f"[{_bar(done / peak, barw)}] {done}"
+            )
+    # ---- byte split
+    if snap.bytes_by_protocol:
+        parts = "  ".join(
+            f"{proto}={_fmt_bytes(n)}"
+            for proto, n in sorted(snap.bytes_by_protocol.items())
+        )
+        lines.append("")
+        lines.append(f"bytes by protocol: {parts}")
+    # ---- sharded-engine health
+    if snap.windows:
+        lines.append("")
+        lines.append(f"engine: {snap.windows} windows   "
+                     f"width {_spark(snap.window_widths, barw)}")
+        lw = snap.last_window
+        if lw:
+            lines.append(
+                f"  last window: batch={lw.get('batch', 0)} "
+                f"executed={lw.get('executed', 0)} "
+                f"deferred={lw.get('deferred', 0)} "
+                f"skew={lw.get('clock_skew', 0.0):.2e}s"
+                + (f"  stall={lw['stall']}" if "stall" in lw else "")
+            )
+        if snap.events_by_shard:
+            peak = max(snap.events_by_shard) or 1
+            total = sum(snap.events_by_shard) or 1
+            lines.append(f"  per-rank events ({snap.nranks} ranks):")
+            show = snap.events_by_shard
+            cap = 16
+            for rank, n in enumerate(show[:cap]):
+                q = " q" if rank < snap.ranks_quiescent else ""
+                lines.append(
+                    f"    r{rank:<3} [{_bar(n / peak, barw - 6)}] "
+                    f"{100.0 * n / total:5.1f}%{q}"
+                )
+            if len(show) > cap:
+                lines.append(f"    ... {len(show) - cap} more ranks")
+        if snap.ranks_quiescent and snap.nranks:
+            lines.append(f"  quiescent ranks: {snap.ranks_quiescent}/"
+                         f"{snap.nranks}")
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+class LiveRenderer:
+    """A ledger sink that re-renders the dashboard as records stream in.
+
+    Throttled by host time (``min_interval`` seconds between repaints) so
+    a hot run does not melt the terminal; the final record always
+    repaints.  When ``stream`` is a TTY the previous frame is erased with
+    ANSI cursor movement; otherwise frames are separated by blank lines
+    (redirecting to a file keeps every frame, which is itself useful).
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None,
+                 min_interval: float = 0.25, width: int = WIDTH) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        self.min_interval = min_interval
+        self.width = width
+        self.snapshot = LedgerSnapshot()
+        self._last_paint = 0.0
+        self._last_lines = 0
+
+    def feed(self, rec: Dict[str, Any]) -> None:
+        self.snapshot.apply(rec)
+        now = time.monotonic()
+        final = rec.get("type") == "ledger_close"
+        if not final and now - self._last_paint < self.min_interval:
+            return
+        self._last_paint = now
+        self.paint()
+
+    def paint(self) -> None:
+        text = render_dashboard(self.snapshot, self.width)
+        out = self.stream
+        if self._last_lines and getattr(out, "isatty", lambda: False)():
+            out.write(f"\x1b[{self._last_lines}F\x1b[J")
+        out.write(text)
+        out.write("\n")
+        if not getattr(out, "isatty", lambda: False)():
+            out.write("\n")
+        out.flush()
+        self._last_lines = text.count("\n") + 1
+
+
+def tail_ledger(
+    path: str,
+    *,
+    poll: float = 0.2,
+    idle_timeout: Optional[float] = 5.0,
+    sleep=time.sleep,
+) -> Iterator[Dict[str, Any]]:
+    """Yield a ledger's records, then follow appends until close.
+
+    Stops on ``ledger_close``, or after ``idle_timeout`` host-seconds
+    with no new bytes (the writer died -- which is exactly the
+    kill-recovery case: everything flushed so far has been yielded).
+    A partially written trailing line is retried on the next poll, so a
+    record is only ever yielded whole.
+    """
+    buf = ""
+    pos = 0
+    idle = 0.0
+    while True:
+        with open(path) as fh:
+            fh.seek(pos)
+            chunk = fh.read()
+            pos = fh.tell()
+        if chunk:
+            idle = 0.0
+            buf += chunk
+            while "\n" in buf:
+                line, buf = buf.split("\n", 1)
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue  # torn line that got newline-terminated oddly
+                yield rec
+                if rec.get("type") == "ledger_close":
+                    return
+        else:
+            if idle_timeout is not None and idle >= idle_timeout:
+                return
+            idle += poll
+            sleep(poll)
+
+
+def watch(
+    path: str,
+    *,
+    stream: Optional[IO[str]] = None,
+    follow: bool = True,
+    poll: float = 0.2,
+    idle_timeout: Optional[float] = 5.0,
+    width: int = WIDTH,
+) -> LedgerSnapshot:
+    """Render ``path`` as a live dashboard; returns the final snapshot.
+
+    ``follow=False`` replays whatever the file holds right now and paints
+    one final frame (the mode CI smoke-tests use).
+    """
+    out = stream if stream is not None else sys.stdout
+    if not follow:
+        from repro.telemetry.ledger import read_ledger
+
+        snap = replay(read_ledger(path))
+        out.write(render_dashboard(snap, width))
+        out.write("\n")
+        out.flush()
+        return snap
+    renderer = LiveRenderer(out, width=width)
+    for rec in tail_ledger(path, poll=poll, idle_timeout=idle_timeout):
+        renderer.feed(rec)
+    renderer.paint()
+    return renderer.snapshot

@@ -8,10 +8,16 @@ play for the original TTG stack:
   with the critical-path tasks highlighted,
 - the critical-path chain itself,
 - per-template duration table and per-rank idle breakdown,
-- comm/protocol byte split,
+- accelerator lanes (per-template GPU busy time + PCIe input bytes)
+  when the run executed device tasks,
+- comm/protocol byte split (including the ``pcie`` channel),
+- an engine-health section (conservative-window width timeline,
+  per-rank event imbalance, stall attribution) when the run executed
+  on the sharded engine with telemetry attached,
 - queue-depth counter sparklines,
 - and, when ``BENCH_<app>.json`` history files are passed in, the
-  makespan trend chart per application (baseline runs marked).
+  makespan and host-seconds trend charts per application (baseline runs
+  filled, commit boundaries marked with dashed rules).
 
 CLI::
 
@@ -220,9 +226,16 @@ def _counter_series(bus: EventBus) -> Dict[Tuple[str, int], List[Tuple[float, fl
 
 def protocol_bytes(source: Union[Telemetry, EventBus]) -> Dict[str, int]:
     """Bytes moved per transport channel, from the recorded comm/proto
-    spans (``am:*``, ``rma:*``, ``splitmd:meta:*``, ``splitmd:rma:*``)."""
+    spans (``am:*``, ``rma:*``, ``splitmd:meta:*``, ``splitmd:rma:*``) --
+    plus a ``pcie`` channel from accelerator task spans that carried
+    host->device transfers (``pcie_bytes`` span arg)."""
     out: Dict[str, int] = defaultdict(int)
     for ev in _bus_of(source).spans():
+        if ev.cat == "task":
+            pcie = int(ev.args.get("pcie_bytes", 0) or 0)
+            if pcie:
+                out["pcie"] += pcie
+            continue
         if ev.cat not in ("comm", "proto"):
             continue
         parts = ev.name.split(":")
@@ -231,15 +244,95 @@ def protocol_bytes(source: Union[Telemetry, EventBus]) -> Dict[str, int]:
     return dict(out)
 
 
+def gpu_lane_summary(source: Union[Telemetry, EventBus]) -> List[Dict[str, Any]]:
+    """Per-template aggregation of accelerator task spans.
+
+    GPU executions are recorded as ``<TEMPLATE>@gpu`` spans on the
+    device-slot lanes above the worker tids; this rolls them up into the
+    per-template rows the ROADMAP's heterogeneous-observability item
+    asks for: count, busy time, and the PCIe bytes their inputs paid.
+    """
+    rows: Dict[str, Dict[str, Any]] = {}
+    for ev in _bus_of(source).spans("task"):
+        if not ev.name.endswith("@gpu"):
+            continue
+        template = ev.args.get("template", ev.name[:-len("@gpu")])
+        row = rows.setdefault(template, {
+            "template": template, "count": 0, "busy": 0.0,
+            "pcie_bytes": 0, "ranks": set(),
+        })
+        row["count"] += 1
+        row["busy"] += ev.duration
+        row["pcie_bytes"] += int(ev.args.get("pcie_bytes", 0) or 0)
+        row["ranks"].add(ev.rank)
+    out = []
+    for template in sorted(rows):
+        row = rows[template]
+        row["ranks"] = len(row["ranks"])
+        out.append(row)
+    return out
+
+
+def engine_health(source: Union[Telemetry, EventBus]) -> Dict[str, Any]:
+    """Aggregate the ``cat="engine"`` window instants mirrored onto the
+    bus by the sharded-engine health profiler.
+
+    Returns an empty dict when the run was not sharded (no engine
+    records).  Otherwise: the window-width timeline, per-rank event
+    totals, stall attribution counts, and clock-skew peak.
+    """
+    widths: List[Tuple[float, float]] = []
+    by_shard: List[int] = []
+    stalls: Dict[str, int] = defaultdict(int)
+    skew_peak = 0.0
+    batches = 0
+    windows = 0
+    for ev in _bus_of(source).instants("engine"):
+        if ev.name != "window":
+            continue
+        windows += 1
+        widths.append((ev.ts, float(ev.args.get("width", 0.0))))
+        batches += int(ev.args.get("batch", 0))
+        skew_peak = max(skew_peak, float(ev.args.get("clock_skew", 0.0)))
+        if "stall" in ev.args:
+            stalls[str(ev.args["stall"])] += 1
+        shard_events = ev.args.get("events_by_shard") or []
+        if len(by_shard) < len(shard_events):
+            by_shard.extend([0] * (len(shard_events) - len(by_shard)))
+        for s, count in enumerate(shard_events):
+            by_shard[s] += int(count)
+    if not windows:
+        return {}
+    return {
+        "windows": windows,
+        "widths": widths,
+        "events_by_shard": by_shard,
+        "stalls": dict(stalls),
+        "clock_skew_peak": skew_peak,
+        "mean_batch": batches / windows,
+    }
+
+
 # ----------------------------------------------------------- history trend
 
 
-def trend_svg(history: Any, width: int = 420, height: int = 130) -> str:
-    """Makespan trajectory of one BenchHistory (baselines = filled dots)."""
-    records = [r for r in history.records if r.makespan > 0]
+def trend_svg(history: Any, width: int = 420, height: int = 130,
+              metric: str = "makespan") -> str:
+    """Trajectory of one BenchHistory metric (baselines = filled dots).
+
+    ``metric`` selects the record field: ``makespan`` (virtual seconds,
+    shown in ms) or ``host_seconds`` (wall-clock simulation cost).
+    Commit boundaries -- consecutive records whose ``git_sha`` differs --
+    are marked with a dashed vertical line titled by the new SHA, so a
+    regression is visually attributable to the PR that introduced it.
+    """
+    records = [r for r in history.records if getattr(r, metric, 0) > 0]
     if not records:
         return ""
-    vmax = max(r.makespan for r in records) * 1.1
+    value = lambda r: getattr(r, metric)
+    in_ms = metric == "makespan"
+    fmt = (lambda v: f"{v * 1e3:.2f} ms") if in_ms else (lambda v: f"{v:.3f} s")
+    vmax = max(value(r) for r in records) * 1.1
     left, top = 46, 8
     pw, ph = width - left - 6, height - top - 22
     n = len(records)
@@ -249,9 +342,23 @@ def trend_svg(history: Any, width: int = 420, height: int = 130) -> str:
         f'height="{height}">',
         f'<line x1="{left}" y1="{top + ph}" x2="{left + pw}" '
         f'y2="{top + ph}" stroke="#ccd"/>',
-        f'<text x="2" y="{top + 8}">{vmax * 1e3:.2f} ms</text>',
+        f'<text x="2" y="{top + 8}">{fmt(vmax)}</text>',
         f'<text x="2" y="{top + ph}">0</text>',
     ]
+    # Per-PR commit markers: one dashed rule where the recorded git SHA
+    # changes along the chronological axis.
+    prev_sha = records[0].git_sha
+    for i, r in enumerate(records[1:], 1):
+        if r.git_sha and r.git_sha != prev_sha:
+            x = left + (i / max(n - 1, 1)) * pw
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{top}" x2="{x:.1f}" '
+                f'y2="{top + ph}" stroke="#99a" stroke-dasharray="3,3" '
+                f'class="commit"><title>commit {_esc(r.git_sha)}</title>'
+                f'</line>'
+            )
+        if r.git_sha:
+            prev_sha = r.git_sha
     by_group: Dict[str, List[Tuple[int, Any]]] = defaultdict(list)
     for i, r in enumerate(records):
         by_group[r.config_key].append((i, r))
@@ -260,7 +367,7 @@ def trend_svg(history: Any, width: int = 420, height: int = 130) -> str:
         pts = []
         for i, r in rows:
             x = left + (i / max(n - 1, 1)) * pw
-            y = top + ph - r.makespan / vmax * ph
+            y = top + ph - value(r) / vmax * ph
             pts.append((x, y, r))
         if len(pts) > 1:
             coords = " ".join(f"{x:.1f},{y:.1f}" for x, y, _ in pts)
@@ -268,14 +375,14 @@ def trend_svg(history: Any, width: int = 420, height: int = 130) -> str:
                          f'stroke="{color}" stroke-width="1.3"/>')
         for x, y, r in pts:
             fill = color if r.baseline else "#fff"
-            title = _esc(f"{key} seed={r.seed} {r.makespan * 1e3:.3f} ms "
+            title = _esc(f"{key} seed={r.seed} {fmt(value(r))} "
                          f"{r.gflops:.1f} Gflop/s "
                          f"{'baseline ' if r.baseline else ''}{r.git_sha}")
             parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" '
                          f'fill="{fill}" stroke="{color}">'
                          f'<title>{title}</title></circle>')
     parts.append(f'<text x="{left}" y="{height - 4}">run # (chronological; '
-                 f'filled = baseline)</text>')
+                 f'filled = baseline; dashes = new commit)</text>')
     parts.append("</svg>")
     return "".join(parts)
 
@@ -381,6 +488,22 @@ def render_report(
             rows,
         )))
 
+    gpu = gpu_lane_summary(bus)
+    if gpu:
+        total_busy = sum(r["busy"] for r in gpu) or 1.0
+        rows = [
+            (_esc(r["template"]), r["count"], r["ranks"],
+             f"{r['busy'] * 1e3:.3f}", _fmt_bytes(r["pcie_bytes"]),
+             f'<span class="bar" style="width:'
+             f'{r["busy"] / total_busy * 120:.0f}px"></span> '
+             f"{r['busy'] / total_busy * 100:.1f}%")
+            for r in gpu
+        ]
+        out.append(_section("Accelerator lanes", _table(
+            ["template", "tasks", "ranks", "busy ms", "PCIe in", "share"],
+            rows,
+        )))
+
     proto = protocol_bytes(bus)
     if proto:
         total_b = sum(proto.values()) or 1
@@ -392,6 +515,37 @@ def render_report(
         ]
         out.append(_section("Comm / protocol byte split",
                             _table(["channel", "bytes", "share"], rows)))
+
+    health = engine_health(bus)
+    if health:
+        body = [
+            f'<p class="meta">{health["windows"]} conservative windows, '
+            f"mean batch {health['mean_batch']:.1f} events, clock-skew "
+            f"peak {health['clock_skew_peak'] * 1e6:.2f} us</p>"
+        ]
+        if health["widths"]:
+            body.append(
+                f'<span class="spark">window width over sim-time<br>'
+                f"{sparkline_svg(health['widths'])}</span>"
+            )
+        if health["stalls"]:
+            stalls = "  ".join(f"{k}: {v}"
+                               for k, v in sorted(health["stalls"].items()))
+            body.append(f'<p class="meta">stall attribution &mdash; '
+                        f"{_esc(stalls)}</p>")
+        shard_events = health["events_by_shard"]
+        if shard_events:
+            total = sum(shard_events) or 1
+            peak = max(shard_events) or 1
+            rows = [
+                (f"rank {s}", n,
+                 f'<span class="bar" style="width:{n / peak * 120:.0f}px">'
+                 f"</span> {n / total * 100:.1f}%")
+                for s, n in enumerate(shard_events)
+            ]
+            body.append(_table(["", "events", "share"], rows))
+        out.append(_section("Engine health (sharded windows)",
+                            "".join(body)))
 
     series = _counter_series(bus)
     if series:
@@ -410,6 +564,12 @@ def render_report(
             trends.append(
                 f'<span class="spark"><b>{_esc(hist.app)}</b> makespan '
                 f"({len(hist.records)} runs)<br>{svg}</span>"
+            )
+        host_svg = trend_svg(hist, metric="host_seconds")
+        if host_svg:
+            trends.append(
+                f'<span class="spark"><b>{_esc(hist.app)}</b> host seconds '
+                f"(simulation cost)<br>{host_svg}</span>"
             )
     if trends:
         out.append(_section("Benchmark history", "".join(trends)))

@@ -105,6 +105,31 @@ def test_mp_cells_identical_to_inline():
         assert dp == di
 
 
+def test_run_ledgers_agree_on_final_progress(tmp_path):
+    """Seq and sharded ledgers of the same run replay to the same totals;
+    only the sharded one additionally carries per-window health records."""
+    from repro.bench.history import measure_potrf
+    from repro.telemetry.ledger import read_ledger, replay_path
+
+    ldir = str(tmp_path)
+    snaps, records = {}, {}
+    for kind in ("seq", "sharded"):
+        measure_potrf(0, engine=kind, ledger_dir=ldir)
+        path = f"{ldir}/potrf-seed0-{kind}.ledger.jsonl"
+        snaps[kind] = replay_path(path)
+        records[kind] = read_ledger(path)
+    seq, sharded = snaps["seq"], snaps["sharded"]
+    assert seq.complete and sharded.complete
+    assert sharded.tasks_done == seq.tasks_done > 0
+    assert sharded.tasks_total == seq.tasks_total
+    assert sharded.by_template == seq.by_template
+    assert sharded.bytes_by_protocol == seq.bytes_by_protocol
+    assert sharded.sim == seq.sim  # identical virtual makespan
+    assert not any(r["type"] == "window" for r in records["seq"])
+    assert sharded.windows > 0
+    assert sum(sharded.events_by_shard) > 0
+
+
 # -------------------------------------------------- sanitizer parity
 
 

@@ -1,0 +1,327 @@
+"""The run ledger: live JSONL stream, crash recovery, replay, validation.
+
+The contract under test is the tentpole one: a ledger written *during*
+execution must (a) replay to the exact final state of the run, (b) stay
+readable when the writer is killed mid-run (torn tail dropped, last
+flushed snapshot recovered), and (c) cost nothing when not attached.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import core as ttg
+from repro.runtime import ParsecBackend
+from repro.sim import Cluster, HAWK
+from repro.telemetry.ledger import (
+    LEDGER_SCHEMA,
+    LEDGER_VERSION,
+    LedgerError,
+    LedgerWriter,
+    ledger_capture,
+    new_run_id,
+    read_ledger,
+    replay,
+    replay_path,
+    validate_ledger,
+)
+
+
+def _pipeline_backend(engine="seq", nranks=4, keys=64):
+    """A small two-stage graph that fans out over all ranks."""
+    backend = ParsecBackend(Cluster.with_engine(HAWK, nranks, engine=engine))
+    e = ttg.Edge("e", key_type=int, value_type=int)
+    results = {}
+
+    def gen(key, outs):
+        outs.send(0, key, key * key)
+
+    def sink(key, val, outs):
+        results[key] = val
+
+    g = ttg.make_tt(gen, [], [e], name="GEN", keymap=lambda k: k % nranks)
+    s = ttg.make_tt(sink, [e], [], name="SINK",
+                    keymap=lambda k: (k + 1) % nranks)
+    ex = ttg.TaskGraph([g, s]).executable(backend)
+    return backend, ex, g, results, keys
+
+
+def _run_with_ledger(tmp_path, engine, heartbeat_every=8):
+    path = str(tmp_path / f"{engine}.ledger.jsonl")
+    backend, ex, gen, results, keys = _pipeline_backend(engine)
+    led = LedgerWriter(path, run_id=f"test-{engine}")
+    backend.attach_ledger(led, heartbeat_every=heartbeat_every)
+    for k in range(keys):
+        ex.invoke(gen, k)
+    ex.fence()
+    backend.close_ledger()
+    assert len(results) == keys
+    return path, backend
+
+
+# ------------------------------------------------------------- writer basics
+
+
+def test_writer_emits_header_and_monotonic_seq(tmp_path):
+    path = str(tmp_path / "w.ledger.jsonl")
+    led = LedgerWriter(path, run_id="r1", meta={"app": "unit"})
+    led.phase("build", sim=0.0)
+    led.heartbeat(1.0, events=10)
+    led.progress(1.0, tasks_done=1, tasks_total=2, by_template={"T": 1})
+    led.close(2.0, makespan=2.0)
+    records = read_ledger(path)
+    head = records[0]
+    assert head["type"] == "ledger_open"
+    assert head["schema"] == LEDGER_SCHEMA
+    assert head["version"] == LEDGER_VERSION
+    assert head["app"] == "unit"
+    assert [r["seq"] for r in records] == list(range(len(records)))
+    assert all(r["run"] == "r1" for r in records)
+    assert validate_ledger(records) == []
+
+
+def test_writer_close_is_idempotent_and_seals(tmp_path):
+    path = str(tmp_path / "w.ledger.jsonl")
+    led = LedgerWriter(path, run_id="r1")
+    led.close(1.0)
+    led.close(1.0)  # second close: no-op, no duplicate record
+    assert sum(1 for r in read_ledger(path)
+               if r["type"] == "ledger_close") == 1
+    with pytest.raises(LedgerError):
+        led.emit("phase", phase="build")
+
+
+def test_writer_sinks_see_every_record(tmp_path):
+    seen = []
+    led = LedgerWriter(str(tmp_path / "s.jsonl"), run_id="r",
+                       sinks=(seen.append,))
+    led.phase("build")
+    led.close()
+    assert [r["type"] for r in seen] == ["ledger_open", "phase",
+                                         "ledger_close"]
+    assert seen == read_ledger(str(tmp_path / "s.jsonl"))
+
+
+def test_new_run_ids_unique():
+    ids = {new_run_id("t") for _ in range(100)}
+    assert len(ids) == 100
+    assert all("/" not in i and " " not in i for i in ids)
+
+
+# ------------------------------------------------------ end-to-end round trip
+
+
+@pytest.mark.parametrize("engine", ["seq", "sharded"])
+def test_run_roundtrip_replays_to_final_state(tmp_path, engine):
+    path, backend = _run_with_ledger(tmp_path, engine)
+    records = read_ledger(path)
+    assert validate_ledger(records) == []
+    snap = replay(records)
+    assert snap.complete
+    assert snap.run_id == f"test-{engine}"
+    assert snap.schema_version == LEDGER_VERSION
+    # The final snapshot must agree with the backend's own counters.
+    assert snap.tasks_done == backend.termination.tasks_retired
+    assert snap.tasks_total == backend.termination.tasks_created
+    assert snap.tasks_done == snap.tasks_total > 0
+    assert snap.by_template == backend.stats.tasks_by_template
+    assert snap.by_template["GEN"] == 64
+    assert snap.by_template["SINK"] == 64
+    assert snap.sim == pytest.approx(backend.stats.makespan)
+    assert snap.phases_seen == ["build", "fence", "execute", "drain"]
+    # watch's replay path must land on the same state.
+    assert replay_path(path) == snap
+
+
+def test_heartbeats_and_progress_flushed_during_execution(tmp_path):
+    path, _ = _run_with_ledger(tmp_path, "seq", heartbeat_every=4)
+    kinds = [r["type"] for r in read_ledger(path)]
+    assert kinds.count("heartbeat") >= 2
+    # Progress snapshots ride along with heartbeats, before the drain.
+    first_progress = kinds.index("progress")
+    assert first_progress < kinds.index("ledger_close") - 1
+
+
+def test_sharded_ledger_carries_window_and_quiescence(tmp_path):
+    path, backend = _run_with_ledger(tmp_path, "sharded")
+    records = read_ledger(path)
+    windows = [r for r in records if r["type"] == "window"]
+    assert windows, "sharded runs must record per-window health"
+    for w in windows:
+        assert w["width"] >= 0.0
+        assert w["lookahead"] > 0.0
+        assert len(w["events_by_shard"]) == backend.nranks
+        assert len(w["heap_depths"]) == backend.nranks
+        assert w["clock_skew"] >= 0.0
+        assert w["executed"] >= 0
+    assert sum(w["executed"] for w in windows) == backend.engine.events_processed
+    quiet = [r for r in records if r["type"] == "quiescence"]
+    assert quiet, "the drain must produce a quiescence timeline"
+    assert quiet[-1]["ranks_quiescent"] == backend.nranks
+    close = records[-1]
+    assert close["type"] == "ledger_close"
+    assert close["windows"] == len(windows)
+
+
+def test_seq_ledger_has_no_window_records(tmp_path):
+    path, _ = _run_with_ledger(tmp_path, "seq")
+    kinds = {r["type"] for r in read_ledger(path)}
+    assert "window" not in kinds and "quiescence" not in kinds
+
+
+# -------------------------------------------------------------- kill recovery
+
+
+def test_torn_tail_is_dropped_and_last_snapshot_recovered(tmp_path):
+    path, _ = _run_with_ledger(tmp_path, "seq", heartbeat_every=4)
+    with open(path) as fh:
+        lines = fh.read().splitlines()
+    # Simulate a kill: drop the close, tear the last surviving line.
+    torn = lines[:-2] + [lines[-2][: len(lines[-2]) // 2]]
+    truncated = str(tmp_path / "killed.ledger.jsonl")
+    with open(truncated, "w") as fh:
+        fh.write("\n".join(torn))
+    records = read_ledger(truncated)  # must not raise
+    assert len(records) == len(torn) - 1
+    snap = replay(records)
+    assert not snap.complete
+    assert snap.tasks_done > 0  # the last flushed progress survived
+    problems = validate_ledger(records)
+    assert problems == []  # truncation is not corruption
+
+
+def test_torn_midfile_line_is_an_error(tmp_path):
+    path = str(tmp_path / "corrupt.jsonl")
+    led = LedgerWriter(path, run_id="r")
+    led.phase("build")
+    led.close()
+    lines = open(path).read().splitlines()
+    lines[1] = lines[1][:10]  # tear a line that is *not* last
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines))
+    with pytest.raises(LedgerError):
+        read_ledger(path)
+
+
+# ----------------------------------------------------------------- validation
+
+
+def test_validate_names_schema_version_in_diagnostics():
+    bad = [{"type": "ledger_open", "schema": "wrong", "version": 1,
+            "run": "r", "seq": 0},
+           {"type": "mystery", "run": "r", "seq": 0},
+           {"type": "phase", "phase": "teardown", "run": "other", "seq": 2}]
+    problems = validate_ledger(bad)
+    assert any("wrong" in p and f"v{LEDGER_VERSION}" in p for p in problems)
+    assert any("mystery" in p for p in problems)
+    assert any("teardown" in p for p in problems)
+    assert any("run id" in p for p in problems)
+    assert any("seq" in p for p in problems)
+    assert all("v1" in p for p in problems if "record[" in p)
+
+
+def test_validate_rejects_newer_version():
+    head = {"type": "ledger_open", "schema": LEDGER_SCHEMA,
+            "version": LEDGER_VERSION + 1, "run": "r", "seq": 0}
+    problems = validate_ledger([head])
+    assert any("newer" in p for p in problems)
+
+
+def test_validate_empty_ledger():
+    assert validate_ledger([]) == ["empty ledger (no records)"]
+
+
+# -------------------------------------------------------------- zero overhead
+
+
+def test_no_ledger_means_no_hooks_and_no_files(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    backend, ex, gen, results, keys = _pipeline_backend("seq")
+    for k in range(keys):
+        ex.invoke(gen, k)
+    ex.fence()
+    assert backend.ledger is None
+    assert backend.engine.on_heartbeat is None
+    assert backend.engine.heartbeat_every == 0
+    assert os.listdir(tmp_path) == []  # not a byte of ledger I/O
+
+
+@pytest.mark.parametrize("engine", ["seq", "sharded"])
+def test_ledger_never_perturbs_virtual_time(tmp_path, engine):
+    backend, ex, gen, _, keys = _pipeline_backend(engine)
+    for k in range(keys):
+        ex.invoke(gen, k)
+    bare = ex.fence()
+    _, with_ledger = _run_with_ledger(tmp_path, engine, heartbeat_every=1)
+    assert with_ledger.stats.makespan == bare
+
+
+# -------------------------------------------------------------------- capture
+
+
+def test_ledger_capture_writes_one_ledger_per_backend(tmp_path):
+    directory = str(tmp_path / "runs")
+    with ledger_capture(directory, prefix="cap") as cap:
+        backend, ex, gen, results, keys = _pipeline_backend("sharded")
+        for k in range(keys):
+            ex.invoke(gen, k)
+        ex.fence()
+    assert len(cap.writers) == 1
+    files = os.listdir(directory)
+    assert len(files) == 1 and files[0].endswith(".ledger.jsonl")
+    snap = replay_path(os.path.join(directory, files[0]))
+    assert snap.complete
+    assert snap.tasks_done == snap.tasks_total == 2 * keys
+    assert snap.windows > 0
+    head = read_ledger(os.path.join(directory, files[0]))[0]
+    assert head["nranks"] == 4
+
+
+# ------------------------------------------------------------------------ CLI
+
+
+def _cli(*argv):
+    import io
+
+    from repro.telemetry.cli import main
+
+    out = io.StringIO()
+    code = main(list(argv), stream=out)
+    return code, out.getvalue()
+
+
+def test_cli_validate_ledger_reports_version(tmp_path):
+    path, _ = _run_with_ledger(tmp_path, "seq")
+    code, text = _cli("validate", path)
+    assert code == 0
+    assert f"schema v{LEDGER_VERSION}" in text
+    assert "complete" in text
+
+
+def test_cli_validate_json_output(tmp_path):
+    path, _ = _run_with_ledger(tmp_path, "sharded")
+    code, text = _cli("validate", path, "--json")
+    assert code == 0
+    result = json.loads(text)
+    assert result["valid"] is True
+    assert result["kind"] == "ledger"
+    assert result["schema_version"] == LEDGER_VERSION
+    assert result["supported_version"] == LEDGER_VERSION
+    assert result["complete"] is True
+    assert result["problems"] == []
+
+
+def test_cli_validate_json_on_trace(tmp_path):
+    from repro.telemetry import Telemetry, write_chrome_trace
+    from repro.telemetry.export import TRACE_SCHEMA_VERSION
+
+    tel = Telemetry(nranks=1)
+    tel.bus.complete("t", 0, 0, 0.0, 1.0)
+    path = str(tmp_path / "t.trace.json")
+    write_chrome_trace(path, tel)
+    code, text = _cli("validate", path, "--json")
+    assert code == 0
+    result = json.loads(text)
+    assert result["kind"] == "trace"
+    assert result["schema_version"] == TRACE_SCHEMA_VERSION

@@ -1,0 +1,239 @@
+"""Streaming progress: dashboard rendering, ledger tailing, live watch."""
+
+import io
+import json
+
+import pytest
+
+from repro import core as ttg
+from repro.runtime import ParsecBackend
+from repro.sim import Cluster, HAWK
+from repro.telemetry.ledger import LedgerSnapshot, LedgerWriter, replay_path
+from repro.telemetry.live import (
+    LiveRenderer,
+    _bar,
+    _fmt_bytes,
+    _fmt_eta,
+    _spark,
+    render_dashboard,
+    tail_ledger,
+    watch,
+)
+
+
+def _write_run_ledger(tmp_path, engine="seq", heartbeat_every=8):
+    backend = ParsecBackend(Cluster.with_engine(HAWK, 4, engine=engine))
+    e = ttg.Edge("e", key_type=int, value_type=int)
+
+    def gen(key, outs):
+        outs.send(0, key, key)
+
+    def sink(key, val, outs):
+        pass
+
+    g = ttg.make_tt(gen, [], [e], name="GEN", keymap=lambda k: k % 4)
+    s = ttg.make_tt(sink, [e], [], name="SINK", keymap=lambda k: (k + 1) % 4)
+    ex = ttg.TaskGraph([g, s]).executable(backend)
+    path = str(tmp_path / "run.ledger.jsonl")
+    backend.attach_ledger(LedgerWriter(path, run_id="live-test"),
+                          heartbeat_every=heartbeat_every)
+    for k in range(48):
+        ex.invoke(g, k)
+    ex.fence()
+    backend.close_ledger()
+    return path
+
+
+# ------------------------------------------------------------- pure rendering
+
+
+def test_bar_bounds():
+    assert _bar(0.0, 10) == "." * 10
+    assert _bar(1.0, 10) == "#" * 10
+    assert _bar(2.0, 10) == "#" * 10  # clamped
+    assert _bar(-1.0, 10) == "." * 10
+    assert len(_bar(0.5, 10)) == 10
+
+
+def test_spark_downsamples_to_width():
+    assert _spark([], 10) == ""
+    assert len(_spark(list(range(1000)), 20)) == 20
+    flat = _spark([5.0, 5.0, 5.0], 10)
+    assert len(set(flat)) == 1  # constant series renders one level
+
+
+def test_fmt_helpers():
+    assert _fmt_bytes(512) == "512B"
+    assert _fmt_bytes(2048) == "2.0KiB"
+    assert _fmt_bytes(5 * 1024 * 1024) == "5.0MiB"
+    assert _fmt_eta(None) == "--"
+    assert _fmt_eta(5.0) == "5s"
+    assert _fmt_eta(125.0) == "2m05s"
+
+
+def test_render_dashboard_sections():
+    snap = LedgerSnapshot(
+        run_id="r-7", schema_version=1, phase="execute",
+        phases_seen=["build", "fence", "execute"], sim=1.5, events=1000,
+        heartbeats=3, tasks_done=30, tasks_total=100,
+        by_template={"GEMM": 25, "TRSM": 5},
+        bytes_by_protocol={"eager": 4096, "splitmd": 1 << 20},
+        windows=12, window_widths=[1.0, 2.0, 1.5],
+        last_window={"batch": 8, "executed": 7, "deferred": 1,
+                     "clock_skew": 1e-6, "stall": "fence-bound"},
+        events_by_shard=[700, 300], ranks_quiescent=1, nranks=2,
+    )
+    text = render_dashboard(snap, width=72)
+    assert "run r-7" in text and "[ledger v1]" in text and "running" in text
+    assert "[execute]" in text and "(drain)" in text  # rail marks state
+    assert "30/100 (30.0%)" in text
+    assert "GEMM" in text and "TRSM" in text
+    assert "eager=4.0KiB" in text and "splitmd=1.0MiB" in text
+    assert "12 windows" in text
+    assert "stall=fence-bound" in text
+    assert "r0" in text and "r1" in text
+    assert " q" in text  # quiescence mark on the drained rank
+    assert "quiescent ranks: 1/2" in text
+    # Bar-bearing lines respect the requested width (free-text lines may
+    # run longer; the terminal wraps those harmlessly).
+    assert all(len(line) <= 72 for line in text.splitlines()
+               if "[#" in line or "[." in line)
+
+
+def test_render_dashboard_empty_snapshot():
+    text = render_dashboard(LedgerSnapshot())
+    assert "starting" in text
+    assert "0/0 (0.0%)" in text
+
+
+def test_render_dashboard_caps_rank_table():
+    snap = LedgerSnapshot(windows=1, events_by_shard=[10] * 40, nranks=40)
+    text = render_dashboard(snap)
+    assert "... 24 more ranks" in text
+
+
+def test_eta_estimates_from_host_rate():
+    snap = LedgerSnapshot(tasks_done=50, tasks_total=100,
+                          first_host=100.0, last_host=110.0)
+    assert snap.eta_seconds() == pytest.approx(10.0)
+    snap.complete = True
+    assert snap.eta_seconds() is None
+
+
+# ----------------------------------------------------------------- tailing
+
+
+def test_tail_ledger_reads_completed_file(tmp_path):
+    path = _write_run_ledger(tmp_path)
+    records = list(tail_ledger(path, idle_timeout=0.0))
+    assert records[0]["type"] == "ledger_open"
+    assert records[-1]["type"] == "ledger_close"
+
+
+def test_tail_ledger_follows_appends_and_reassembles_torn_lines(tmp_path):
+    path = str(tmp_path / "grow.jsonl")
+    rec1 = json.dumps({"type": "ledger_open", "run": "r", "seq": 0}) + "\n"
+    rec2 = json.dumps({"type": "heartbeat", "run": "r", "seq": 1}) + "\n"
+    rec3 = json.dumps({"type": "ledger_close", "run": "r", "seq": 2}) + "\n"
+    with open(path, "w") as fh:
+        fh.write(rec1)
+        fh.write(rec2[:9])  # torn: writer mid-record at first read
+
+    appended = []
+
+    def fake_sleep(_):
+        # The writer "finishes" the torn record, then closes the run.
+        if not appended:
+            with open(path, "a") as fh:
+                fh.write(rec2[9:])
+                fh.write(rec3)
+            appended.append(True)
+
+    records = list(tail_ledger(path, poll=0.01, idle_timeout=1.0,
+                               sleep=fake_sleep))
+    assert [r["type"] for r in records] == [
+        "ledger_open", "heartbeat", "ledger_close"]
+
+
+def test_tail_ledger_idle_timeout_is_kill_recovery(tmp_path):
+    # A dead writer: no ledger_close ever arrives. The tailer must yield
+    # everything flushed and then stop on its own.
+    path = str(tmp_path / "dead.jsonl")
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"type": "ledger_open", "run": "r", "seq": 0}))
+        fh.write("\n")
+        fh.write(json.dumps({"type": "progress", "run": "r", "seq": 1,
+                             "tasks_done": 7, "tasks_total": 9}))
+        fh.write("\n")
+    sleeps = []
+    records = list(tail_ledger(path, poll=0.5, idle_timeout=1.0,
+                               sleep=sleeps.append))
+    assert len(records) == 2
+    assert 2 <= len(sleeps) <= 3  # polled until the timeout, then gave up
+
+
+# ------------------------------------------------------------- LiveRenderer
+
+
+def test_live_renderer_throttles_but_always_paints_close(tmp_path):
+    out = io.StringIO()
+    r = LiveRenderer(out, min_interval=3600.0)  # throttle everything...
+    r.feed({"type": "ledger_open", "run": "x", "seq": 0, "version": 1})
+    first = out.getvalue()
+    r.feed({"type": "heartbeat", "run": "x", "seq": 1, "sim": 1.0,
+            "events": 5})
+    assert out.getvalue() == first  # throttled
+    r.feed({"type": "ledger_close", "run": "x", "seq": 2, "sim": 2.0})
+    assert "complete" in out.getvalue()  # ...except the final record
+    assert r.snapshot.complete
+
+
+def test_live_renderer_as_writer_sink(tmp_path):
+    out = io.StringIO()
+    led = LedgerWriter(str(tmp_path / "l.jsonl"), run_id="sinky",
+                       sinks=(LiveRenderer(out, min_interval=0.0).feed,))
+    led.phase("build")
+    led.progress(0.5, tasks_done=1, tasks_total=4)
+    led.close(1.0)
+    text = out.getvalue()
+    assert "run sinky" in text
+    assert "1/4" in text
+    assert "complete" in text
+
+
+# -------------------------------------------------------------------- watch
+
+
+def test_watch_once_replays_to_final_state(tmp_path):
+    path = _write_run_ledger(tmp_path)
+    out = io.StringIO()
+    snap = watch(path, stream=out, follow=False)
+    assert snap == replay_path(path)
+    assert snap.complete and snap.tasks_done == snap.tasks_total == 96
+    assert "run live-test" in out.getvalue()
+
+
+def test_watch_follow_stops_on_close(tmp_path):
+    path = _write_run_ledger(tmp_path, engine="sharded")
+    out = io.StringIO()
+    snap = watch(path, stream=out, poll=0.01, idle_timeout=0.5)
+    assert snap.complete
+    assert snap.windows > 0
+    assert "windows" in out.getvalue()
+
+
+def test_watch_cli_once(tmp_path):
+    from repro.telemetry.cli import main
+
+    path = _write_run_ledger(tmp_path)
+    out = io.StringIO()
+    assert main(["watch", path, "--once"], stream=out) == 0
+    assert "96/96" in out.getvalue()
+
+
+def test_watch_cli_missing_file(tmp_path):
+    from repro.telemetry.cli import main
+
+    out = io.StringIO()
+    assert main(["watch", str(tmp_path / "nope.jsonl"), "--once"],
+                stream=out) == 1

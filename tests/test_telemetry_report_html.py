@@ -14,7 +14,9 @@ from repro.telemetry import Telemetry
 from repro.telemetry.cli import main as telemetry_main
 from repro.telemetry.export import write_jsonl
 from repro.telemetry.report_html import (
+    engine_health,
     gantt_svg,
+    gpu_lane_summary,
     load_histories,
     protocol_bytes,
     render_report,
@@ -123,6 +125,119 @@ def test_write_report_html_and_cli(cholesky_run, tmp_path, capsys):
     html = out2.read_text()
     assert "cli report" in html and 'class="crit"' in html
     assert not re.search(r'(src|href)\s*=\s*"https?://', html)
+
+
+@pytest.fixture(scope="module")
+def gpu_run():
+    """A 1-rank run with accelerator tasks paying PCIe transfers."""
+    import numpy as np
+    from dataclasses import replace
+
+    node = replace(HAWK.node, workers=2, gpus=1, gpu_flops=500.0e9,
+                   pcie_bandwidth=12.0e9)
+    machine = replace(HAWK, node=node)
+    tel = Telemetry(nranks=1, capacity=None)
+    be = ParsecBackend(Cluster(machine, 1), telemetry=tel)
+    buf = np.zeros(4096, dtype=np.uint8)
+    for i in range(4):
+        be.submit(0, lambda: None, flops=1e9, device="gpu",
+                  name="GEMM", key=i, inputs=(buf,) if i == 0 else ())
+    be.submit(0, lambda: None, flops=1e6, name="HOST", key=9)
+    be.run()
+    return tel
+
+
+def test_gpu_lane_summary_rows(gpu_run):
+    rows = gpu_lane_summary(gpu_run)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["template"] == "GEMM"
+    assert row["count"] == 4
+    assert row["ranks"] == 1
+    assert row["busy"] > 0.0
+    # The buffer transfers once; residency absorbs the other three tasks.
+    assert row["pcie_bytes"] == 4096
+    assert gpu_lane_summary(Telemetry(nranks=1)) == []
+
+
+def test_protocol_bytes_includes_pcie_channel(gpu_run):
+    split = protocol_bytes(gpu_run)
+    assert split.get("pcie") == 4096
+
+
+def test_report_renders_accelerator_section(gpu_run):
+    html = render_report(gpu_run)
+    assert "Accelerator lanes" in html
+    assert "GEMM" in html
+    # CPU-only runs must not grow the section.
+    a = spd_matrix(128, seed=3)
+    m = TiledMatrix.from_dense(a, 64, BlockCyclicDistribution(1, 1))
+    tel = Telemetry(capacity=None)
+    cholesky_ttg(m, ParsecBackend(Cluster(HAWK, 1), telemetry=tel))
+    assert "Accelerator lanes" not in render_report(tel)
+
+
+@pytest.fixture(scope="module")
+def sharded_health_run():
+    """A telemetered sharded run with the health profiler armed (a
+    sink-only ledger arms it without touching disk)."""
+    from repro.telemetry.ledger import LedgerWriter
+
+    a = spd_matrix(256, seed=11)
+    m = TiledMatrix.from_dense(a, 64, BlockCyclicDistribution(2, 2))
+    tel = Telemetry(capacity=None)
+    backend = ParsecBackend(Cluster.with_engine(HAWK.with_workers(2), 4,
+                                                engine="sharded"),
+                            telemetry=tel)
+    backend.attach_ledger(LedgerWriter(None, run_id="health"))
+    cholesky_ttg(m, backend)
+    backend.close_ledger()
+    return tel
+
+
+def test_engine_health_aggregates_window_instants(sharded_health_run):
+    health = engine_health(sharded_health_run)
+    assert health["windows"] > 0
+    assert len(health["widths"]) == health["windows"]
+    assert len(health["events_by_shard"]) == 4
+    assert sum(health["events_by_shard"]) > 0
+    assert health["clock_skew_peak"] >= 0.0
+    assert health["mean_batch"] > 0.0
+    assert engine_health(Telemetry(nranks=1)) == {}
+
+
+def test_report_renders_engine_health_section(sharded_health_run):
+    html = render_report(sharded_health_run)
+    assert "Engine health (sharded windows)" in html
+    assert "r0" in html  # per-rank event table
+
+
+def test_trend_svg_commit_markers_and_host_seconds():
+    h = BenchHistory("potrf")
+    for i, sha in enumerate(("aaa1111", "aaa1111", "bbb2222", "ccc3333")):
+        h.append(BenchRecord(app="potrf", config={"n": 1024}, seed=i,
+                             makespan=0.01 + i * 1e-4, gflops=100.0,
+                             host_seconds=2.0 + i, git_sha=sha,
+                             baseline=(i == 0)))
+    svg = trend_svg(h)
+    # One dashed marker per SHA change (aaa->bbb, bbb->ccc).
+    assert svg.count('class="commit"') == 2
+    assert "commit bbb2222" in svg and "commit ccc3333" in svg
+    host = trend_svg(h, metric="host_seconds")
+    assert "<svg" in host
+    assert "5.500 s" in host  # axis max = 1.1 * the 5.0 s peak, in seconds
+    assert "ms" not in host   # host time is never formatted as makespan ms
+
+
+def test_report_embeds_host_seconds_trend(cholesky_run, tmp_path):
+    h = BenchHistory("potrf")
+    h.append(BenchRecord(app="potrf", config={"n": 1024}, makespan=0.01,
+                         gflops=100.0, host_seconds=3.5, git_sha="e5f",
+                         baseline=True))
+    h.save(directory=str(tmp_path))
+    html = render_report(cholesky_run, histories=load_histories(str(tmp_path)))
+    assert "<b>potrf</b> makespan" in html
+    assert "<b>potrf</b> host seconds" in html
 
 
 def test_report_warns_on_dropped_events():
