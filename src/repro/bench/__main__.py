@@ -16,6 +16,11 @@ The benchmark-history watchdog (no experiment argument needed):
     python -m repro.bench --record-history --engine sharded --parallel 4
     python -m repro.bench --record-history --ledger runs/ --live
 
+Durable runs (crash-consistent checkpoints; see ``docs/durability.md``):
+
+    python -m repro.bench --record-history --checkpoint-dir ckpts/
+    python -m repro.bench --checkpoint-dir ckpts/ --resume mra-seed0-sharded
+
 History lives in ``BENCH_<app>.json`` files (``--history-dir``, default the
 current directory); see :mod:`repro.bench.history`.  The append-only files
 are compacted with ``python -m repro.bench prune --keep 50``, and the event
@@ -134,22 +139,53 @@ def run_engine_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_resume(args: argparse.Namespace) -> int:
+    """``--resume RUN_ID``: rebuild and verify-replay a killed run."""
+    from repro.durability import CheckpointError, resume_run
+
+    try:
+        result = resume_run(args.checkpoint_dir, args.resume,
+                            ledger_dir=args.ledger, live=args.live)
+    except CheckpointError as e:
+        print(f"resume failed: {e}", file=sys.stderr)
+        return 1
+    for problem in result.problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    rec = result.record
+    print(f"resumed {result.run_id} from {result.resume_point or 'start'}: "
+          f"verified {result.verified} stored checkpoint(s), wrote "
+          f"{result.written} new")
+    print(f"  makespan={rec.makespan:.6g}s gflops={rec.gflops:.6g} "
+          f"tasks={rec.tasks_total}")
+    return 0
+
+
 def run_watchdog_cli(args: argparse.Namespace) -> int:
     """--record-history / --check-regressions / --update-baseline."""
-    reports, written = history.run_watchdog(
-        directory=args.history_dir,
-        apps=args.apps,
-        seeds=args.seeds,
-        measure=not args.no_measure,
-        record=args.record_history,
-        update_baseline=args.update_baseline,
-        thresholds={"makespan": args.threshold, "gflops": args.threshold}
-        if args.threshold is not None else None,
-        engine=args.engine,
-        parallel=args.parallel,
-        ledger_dir=args.ledger,
-        live=args.live,
-    )
+    from repro.bench.parallel import CellFailureError
+
+    try:
+        reports, written = history.run_watchdog(
+            directory=args.history_dir,
+            apps=args.apps,
+            seeds=args.seeds,
+            measure=not args.no_measure,
+            record=args.record_history,
+            update_baseline=args.update_baseline,
+            thresholds={"makespan": args.threshold, "gflops": args.threshold}
+            if args.threshold is not None else None,
+            engine=args.engine,
+            parallel=args.parallel,
+            ledger_dir=args.ledger,
+            live=args.live,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except CellFailureError as e:
+        # Permanent cell failures (after their retry budget) must fail
+        # the sweep loudly -- a half-measured matrix is not a baseline.
+        print(f"FAILED: {e}", file=sys.stderr)
+        return 1
     for report in reports:
         print(report.format())
         print()
@@ -217,6 +253,17 @@ def main(argv=None) -> int:
     wd.add_argument("--ledger", default=None, metavar="DIR",
                     help="write one append-only run ledger per matrix cell "
                     "into DIR (tail with: python -m repro.telemetry watch)")
+    wd.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                    help="write crash-consistent checkpoints of every matrix "
+                    "cell into DIR (resume a killed cell with --resume; see "
+                    "python -m repro.durability)")
+    wd.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                    help="checkpoint cadence in engine events "
+                    "(default 2048)")
+    wd.add_argument("--resume", default=None, metavar="RUN_ID",
+                    help="resume the killed run RUN_ID from --checkpoint-dir "
+                    "(e.g. mra-seed0-sharded); verifies every stored "
+                    "checkpoint during the replay")
     wd.add_argument("--live", action="store_true",
                     help="stream a console progress dashboard while each "
                     "cell runs (implies in-process ledger records)")
@@ -235,6 +282,10 @@ def main(argv=None) -> int:
     if args.engine == "mp" and args.parallel == 0:
         args.parallel = default_processes()
 
+    if args.resume is not None:
+        if args.checkpoint_dir is None:
+            parser.error("--resume requires --checkpoint-dir")
+        return run_resume(args)
     if args.experiment == "prune":
         return run_prune(args)
     if args.experiment == "engine-bench":

@@ -575,7 +575,7 @@ def _instrumented_cluster(nodes: int, workers: int, engine: str):
 
 def _attach_ledger(
     backend: Any, app: str, seed: int, engine: str,
-    ledger_dir: Optional[str], live: bool,
+    ledger_dir: Optional[str], live: bool, resumed_from: str = "",
 ) -> None:
     """Arm the run ledger on a watchdog backend (``--ledger`` / ``--live``).
 
@@ -583,7 +583,8 @@ def _attach_ledger(
     a console dashboard renders in-process as records stream.  No-op when
     neither is requested.  Ledger params deliberately stay OUT of the
     record config (observability must not fork the watchdog's config
-    groups).
+    groups).  ``resumed_from`` stamps the ledger header when this run
+    resumes a killed predecessor (cross-link into the checkpoint chain).
     """
     if ledger_dir is None and not live:
         return
@@ -598,18 +599,51 @@ def _attach_ledger(
         from repro.telemetry.live import LiveRenderer
 
         sinks = (LiveRenderer().feed,)
+    meta: Dict[str, Any] = {"app": app, "seed": seed, "engine": engine,
+                            "nranks": backend.nranks}
+    if resumed_from:
+        meta["resumed_from"] = resumed_from
     writer = LedgerWriter(
-        path, run_id=f"{app}-seed{seed}-{engine}", sinks=sinks,
-        meta={"app": app, "seed": seed, "engine": engine,
-              "nranks": backend.nranks},
+        path, run_id=f"{app}-seed{seed}-{engine}", sinks=sinks, meta=meta,
     )
     backend.attach_ledger(writer)
+
+
+#: Checkpoint cadence (events between checkpoints) when ``--checkpoint-dir``
+#: is given without ``--checkpoint-every``; matches the ledger heartbeat.
+DEFAULT_CHECKPOINT_EVERY = 2048
+
+
+def _make_checkpointer(
+    app: str, seed: int, engine: str, params: Dict[str, Any],
+    checkpoint_dir: Optional[str], checkpoint_every: int, checkpointer: Any,
+) -> Any:
+    """The durability checkpointer of one measurement, or ``None``.
+
+    A pre-built (resume-mode) ``checkpointer`` wins; otherwise
+    ``checkpoint_dir`` arms a fresh write-mode one whose stored spec is
+    the full rebuild cell (app/seed/engine + app params -- observability
+    params deliberately excluded, they may differ across a resume).
+    """
+    if checkpointer is not None:
+        return checkpointer
+    if checkpoint_dir is None:
+        return None
+    from repro.durability.checkpoint import Checkpointer, run_id_for
+
+    spec = dict({"app": app, "seed": seed, "engine": engine}, **params)
+    return Checkpointer(
+        checkpoint_dir, run_id_for(spec), spec=spec,
+        every=checkpoint_every or DEFAULT_CHECKPOINT_EVERY,
+    )
 
 
 def measure_potrf(
     seed: int = 0, *, nodes: int = 4, n: int = 1024, b: int = 128,
     workers: int = 4, engine: str = "seq",
     ledger_dir: Optional[str] = None, live: bool = False,
+    checkpoint_dir: Optional[str] = None, checkpoint_every: int = 0,
+    checkpointer: Any = None,
 ) -> BenchRecord:
     """One telemetry-instrumented POTRF run on the scaled Hawk machine."""
     from time import perf_counter
@@ -621,11 +655,19 @@ def measure_potrf(
     a = TiledMatrix(n, b, SeededBlockCyclic.for_ranks(nodes, seed), synthetic=True)
     cluster, tel = _instrumented_cluster(nodes, workers, engine)
     backend = ParsecBackend(cluster, telemetry=tel)
-    _attach_ledger(backend, "potrf", seed, engine, ledger_dir, live)
+    ckpt = _make_checkpointer(
+        "potrf", seed, engine,
+        {"nodes": nodes, "n": n, "b": b, "workers": workers},
+        checkpoint_dir, checkpoint_every, checkpointer)
+    _attach_ledger(backend, "potrf", seed, engine, ledger_dir, live,
+                   resumed_from=ckpt.resume_point if ckpt is not None else "")
+    if ckpt is not None:
+        backend.attach_checkpointer(ckpt)
     t0 = perf_counter()
     res = cholesky_ttg(a, backend)
     host = perf_counter() - t0
     backend.close_ledger()
+    backend.close_checkpointer()
     config = {"machine": "hawk", "nodes": nodes, "workers": workers,
               "n": n, "b": b}
     return _observed_record("potrf", res, tel, config=config, seed=seed,
@@ -637,6 +679,8 @@ def measure_fw(
     seed: int = 0, *, nodes: int = 4, n: int = 896, b: int = 128,
     workers: int = 4, engine: str = "seq",
     ledger_dir: Optional[str] = None, live: bool = False,
+    checkpoint_dir: Optional[str] = None, checkpoint_every: int = 0,
+    checkpointer: Any = None,
 ) -> BenchRecord:
     """One telemetry-instrumented FW-APSP run on the scaled Hawk machine."""
     from time import perf_counter
@@ -648,11 +692,19 @@ def measure_fw(
     w = TiledMatrix(n, b, SeededBlockCyclic.for_ranks(nodes, seed), synthetic=True)
     cluster, tel = _instrumented_cluster(nodes, workers, engine)
     backend = ParsecBackend(cluster, telemetry=tel)
-    _attach_ledger(backend, "fw", seed, engine, ledger_dir, live)
+    ckpt = _make_checkpointer(
+        "fw", seed, engine,
+        {"nodes": nodes, "n": n, "b": b, "workers": workers},
+        checkpoint_dir, checkpoint_every, checkpointer)
+    _attach_ledger(backend, "fw", seed, engine, ledger_dir, live,
+                   resumed_from=ckpt.resume_point if ckpt is not None else "")
+    if ckpt is not None:
+        backend.attach_checkpointer(ckpt)
     t0 = perf_counter()
     res = floyd_warshall_ttg(w, backend)
     host = perf_counter() - t0
     backend.close_ledger()
+    backend.close_checkpointer()
     config = {"machine": "hawk", "nodes": nodes, "workers": workers,
               "n": n, "b": b}
     return _observed_record("fw", res, tel, config=config, seed=seed,
@@ -664,6 +716,8 @@ def measure_bspmm(
     seed: int = 0, *, nodes: int = 4, natoms: int = 30, target_tile: int = 24,
     workers: int = 4, engine: str = "seq",
     ledger_dir: Optional[str] = None, live: bool = False,
+    checkpoint_dir: Optional[str] = None, checkpoint_every: int = 0,
+    checkpointer: Any = None,
 ) -> BenchRecord:
     """One block-sparse SUMMA (BSPMM) run on a Yukawa-structured matrix.
 
@@ -679,11 +733,20 @@ def measure_bspmm(
     a = yukawa_blocksparse(natoms, target_tile=target_tile, seed=seed)
     cluster, tel = _instrumented_cluster(nodes, workers, engine)
     backend = ParsecBackend(cluster, telemetry=tel)
-    _attach_ledger(backend, "bspmm", seed, engine, ledger_dir, live)
+    ckpt = _make_checkpointer(
+        "bspmm", seed, engine,
+        {"nodes": nodes, "natoms": natoms, "target_tile": target_tile,
+         "workers": workers},
+        checkpoint_dir, checkpoint_every, checkpointer)
+    _attach_ledger(backend, "bspmm", seed, engine, ledger_dir, live,
+                   resumed_from=ckpt.resume_point if ckpt is not None else "")
+    if ckpt is not None:
+        backend.attach_checkpointer(ckpt)
     t0 = perf_counter()
     res = bspmm_ttg(a, a, backend)
     host = perf_counter() - t0
     backend.close_ledger()
+    backend.close_checkpointer()
     config = {"machine": "hawk", "nodes": nodes, "workers": workers,
               "natoms": natoms, "tile": target_tile}
     return _observed_record("bspmm", res, tel, config=config, seed=seed,
@@ -695,6 +758,8 @@ def measure_mra(
     seed: int = 0, *, nodes: int = 4, nfuncs: int = 8, k: int = 4,
     workers: int = 4, engine: str = "seq",
     ledger_dir: Optional[str] = None, live: bool = False,
+    checkpoint_dir: Optional[str] = None, checkpoint_every: int = 0,
+    checkpointer: Any = None,
 ) -> BenchRecord:
     """One MRA (project/compress/reconstruct/norm) run over a seeded batch
     of sharp Gaussians (no Gflop/s figure: the workload is tree-structured,
@@ -707,11 +772,19 @@ def measure_mra(
     functions = random_gaussians(nfuncs, seed=seed)
     cluster, tel = _instrumented_cluster(nodes, workers, engine)
     backend = ParsecBackend(cluster, telemetry=tel)
-    _attach_ledger(backend, "mra", seed, engine, ledger_dir, live)
+    ckpt = _make_checkpointer(
+        "mra", seed, engine,
+        {"nodes": nodes, "nfuncs": nfuncs, "k": k, "workers": workers},
+        checkpoint_dir, checkpoint_every, checkpointer)
+    _attach_ledger(backend, "mra", seed, engine, ledger_dir, live,
+                   resumed_from=ckpt.resume_point if ckpt is not None else "")
+    if ckpt is not None:
+        backend.attach_checkpointer(ckpt)
     t0 = perf_counter()
     res = mra_ttg(functions, backend, k=k, thresh=1.0e-4, max_level=6)
     host = perf_counter() - t0
     backend.close_ledger()
+    backend.close_checkpointer()
     config = {"machine": "hawk", "nodes": nodes, "workers": workers,
               "nfuncs": nfuncs, "k": k}
     return _observed_record("mra", res, tel, config=config, seed=seed,
@@ -736,6 +809,8 @@ def measure_cell(spec: Dict[str, Any]) -> BenchRecord:
     of these specs over a worker pool.  ``spec`` must contain ``app`` and
     ``seed``; every other key is passed to the measurement function.
     """
+    from repro.durability import chaos
+
     spec = dict(spec)
     app = spec.pop("app")
     seed = spec.pop("seed", 0)
@@ -744,6 +819,10 @@ def measure_cell(spec: Dict[str, Any]) -> BenchRecord:
         raise ValueError(
             f"unknown watchdog app {app!r} (have: {sorted(MEASUREMENTS)})"
         )
+    # Fault-injection site: a FaultPlan targeting this (app, seed) cell
+    # fires here -- including inside a forked pool worker, which is how
+    # the resilience suite exercises run_cells' retry path.
+    chaos.poke("cell", app=app, seed=seed)
     return fn(seed, **spec)
 
 
@@ -755,6 +834,8 @@ def measure_matrix(
     parallel: int = 0,
     ledger_dir: Optional[str] = None,
     live: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 0,
 ) -> Dict[str, List[BenchRecord]]:
     """Seed-swept measurements of the watchdog matrix, grouped by app.
 
@@ -764,7 +845,10 @@ def measure_matrix(
     :mod:`repro.bench.parallel`; results are deterministic and ordered
     regardless).  ``ledger_dir`` writes one run ledger per cell (the cell
     specs stay picklable, so forked workers write their own files);
-    ``live`` streams a console dashboard per cell.
+    ``live`` streams a console dashboard per cell.  ``checkpoint_dir``
+    arms durable checkpoints on every cell (one run directory per cell;
+    see :mod:`repro.durability`) -- a killed sweep is resumable cell by
+    cell with ``--resume``.
     """
     for app in apps:
         if app not in MEASUREMENTS:
@@ -779,11 +863,15 @@ def measure_matrix(
                 cell["ledger_dir"] = ledger_dir
             if live:
                 cell["live"] = True
+            if checkpoint_dir is not None:
+                cell["checkpoint_dir"] = checkpoint_dir
+                if checkpoint_every:
+                    cell["checkpoint_every"] = checkpoint_every
             cells.append(cell)
     if parallel > 1:
         from repro.bench.parallel import run_cells
 
-        records = run_cells(cells, processes=parallel)
+        records = run_cells(cells, processes=parallel, ledger_dir=ledger_dir)
     else:
         records = [measure_cell(c) for c in cells]
     out: Dict[str, List[BenchRecord]] = {app: [] for app in apps}
@@ -805,6 +893,8 @@ def run_watchdog(
     parallel: int = 0,
     ledger_dir: Optional[str] = None,
     live: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 0,
 ) -> Tuple[List[RegressionReport], List[Path]]:
     """The full record / baseline / check cycle the CLI drives.
 
@@ -812,12 +902,15 @@ def run_watchdog(
       candidates (plus any trailing non-baseline records already stored).
     - ``record``: append the fresh records to the ``BENCH_*.json`` files.
     - ``update_baseline``: mark the fresh records as baseline.
-    - ``engine`` / ``parallel`` / ``ledger_dir`` / ``live``: forwarded to
+    - ``engine`` / ``parallel`` / ``ledger_dir`` / ``live`` /
+      ``checkpoint_dir`` / ``checkpoint_every``: forwarded to
       :func:`measure_matrix`.
     Returns the per-app reports and the paths written (if any).
     """
     fresh = (measure_matrix(apps, seeds, engine=engine, parallel=parallel,
-                            ledger_dir=ledger_dir, live=live)
+                            ledger_dir=ledger_dir, live=live,
+                            checkpoint_dir=checkpoint_dir,
+                            checkpoint_every=checkpoint_every)
              if measure else {a: [] for a in apps})
     reports: List[RegressionReport] = []
     written: List[Path] = []

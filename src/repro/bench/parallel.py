@@ -16,6 +16,16 @@ The pool degrades gracefully: sandboxes without working POSIX semaphores
 inline execution, preserving results exactly (cells are deterministic, so
 parallel and inline runs return identical records in identical order;
 only ``host_seconds`` differs).
+
+Resilience: a cell whose worker dies (``SIGKILL``, OOM, an injected
+fault) is retried with bounded exponential backoff -- the retries run
+*inline in the parent*, because a pool whose worker was killed cannot be
+trusted to return the result (``multiprocessing.Pool`` repopulates the
+worker but the in-flight ``apply_async`` never resolves; a ``get``
+timeout is the kill detector).  A cell that still fails after its
+retries raises :class:`CellFailureError`, and every retry/failure is
+recorded in a pool ledger when ``ledger_dir`` is set, so a watchdog
+sweep's crash history is inspectable after the fact.
 """
 
 from __future__ import annotations
@@ -23,9 +33,45 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.bench.history import BenchRecord, measure_cell
+
+#: Default retry budget per cell (attempts = retries + 1).
+DEFAULT_RETRIES = 2
+
+#: First-retry backoff in seconds; doubles per subsequent retry.
+DEFAULT_BACKOFF = 0.25
+
+#: Per-attempt pool timeout (seconds): a worker that neither returns nor
+#: raises within this window is presumed killed.
+DEFAULT_CELL_TIMEOUT = 300.0
+
+
+@dataclass
+class CellFailure:
+    """One cell's permanent failure after its retry budget."""
+
+    cell: Dict[str, Any]
+    attempts: int
+    error: str
+
+    def describe(self) -> str:
+        return (f"{self.cell.get('app')}-seed{self.cell.get('seed')}"
+                f"-{self.cell.get('engine', 'seq')}: {self.error} "
+                f"({self.attempts} attempt(s))")
+
+
+class CellFailureError(RuntimeError):
+    """Raised when matrix cells permanently failed; carries the details."""
+
+    def __init__(self, failures: List[CellFailure]) -> None:
+        self.failures = failures
+        super().__init__(
+            f"{len(failures)} benchmark cell(s) permanently failed: "
+            + "; ".join(f.describe() for f in failures)
+        )
 
 
 def default_processes() -> int:
@@ -54,11 +100,89 @@ def _pool_usable(processes: int) -> bool:
     return True
 
 
+#: Exceptions a retry may recover from.  Injected faults are included by
+#: design (they model crashes); KeyboardInterrupt/SystemExit are not.
+def _retryable() -> tuple:
+    from repro.durability.chaos import InjectedFault
+
+    return (Exception, InjectedFault)
+
+
+def _cell_tag(cell: Dict[str, Any]) -> Dict[str, Any]:
+    return {"app": cell.get("app"), "seed": cell.get("seed"),
+            "engine": cell.get("engine", "seq")}
+
+
+def _pool_ledger(ledger_dir: Optional[str]) -> Any:
+    """The sweep's pool ledger (retry/failure records), or ``None``."""
+    if ledger_dir is None:
+        return None
+    from pathlib import Path
+
+    from repro.telemetry.ledger import LedgerWriter
+
+    Path(ledger_dir).mkdir(parents=True, exist_ok=True)
+    return LedgerWriter(str(Path(ledger_dir) / "pool.ledger.jsonl"),
+                        meta={"kind": "pool"})
+
+
+def _retry_cell(
+    cell: Dict[str, Any], err: str, attempts: int, retries: int,
+    backoff: float, ledger: Any,
+) -> Any:
+    """Re-run a failed cell inline with exponential backoff.
+
+    ``attempts`` counts tries already made; up to ``retries`` more are
+    made (so a cell gets ``retries + 1`` attempts total).  Returns
+    ``(record, None)`` on success or ``(None, CellFailure)``.
+    """
+    while attempts <= retries:
+        if ledger is not None:
+            ledger.retry(attempt=attempts, error=err, **_cell_tag(cell))
+        if backoff > 0:
+            time.sleep(backoff * 2 ** (attempts - 1))
+        attempts += 1
+        try:
+            return measure_cell(cell), None
+        except _retryable() as e:
+            err = f"{type(e).__name__}: {e}"
+    failure = CellFailure(cell, attempts=attempts, error=err)
+    if ledger is not None:
+        ledger.failure(attempts=attempts, error=err, **_cell_tag(cell))
+    return None, failure
+
+
+def _run_inline(
+    cells: Sequence[Dict[str, Any]], retries: int, backoff: float,
+    ledger: Any,
+) -> List[BenchRecord]:
+    results: List[BenchRecord] = []
+    failures: List[CellFailure] = []
+    for cell in cells:
+        try:
+            results.append(measure_cell(cell))
+            continue
+        except _retryable() as e:
+            err = f"{type(e).__name__}: {e}"
+        rec, failure = _retry_cell(cell, err, 1, retries, backoff, ledger)
+        if failure is not None:
+            failures.append(failure)
+        else:
+            results.append(rec)
+    if failures:
+        raise CellFailureError(failures)
+    return results
+
+
 def run_cells(
     cells: Sequence[Dict[str, Any]],
     processes: Optional[int] = None,
     *,
     chunksize: int = 1,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
+    timeout: float = DEFAULT_CELL_TIMEOUT,
+    ledger_dir: Optional[str] = None,
 ) -> List[BenchRecord]:
     """Measure every cell spec (see ``measure_cell``), possibly in parallel.
 
@@ -66,21 +190,61 @@ def run_cells(
     them, so downstream grouping and the watchdog see the same sequence an
     inline run would produce.  Falls back to inline execution when the
     host cannot run a pool (no usable semaphores, one core, one cell).
+
+    Crashed cells are retried up to ``retries`` times with exponential
+    backoff (``backoff * 2**attempt`` seconds).  A pooled cell whose
+    worker produces neither a result nor an exception within ``timeout``
+    seconds is presumed killed (``multiprocessing.Pool`` repopulates a
+    dead worker but the in-flight result is lost forever); its retries
+    run inline in the parent, where a second kill cannot hide.  Cells
+    that exhaust their retries raise :class:`CellFailureError` after the
+    whole matrix has been driven; with ``ledger_dir`` every retry and
+    permanent failure also lands in ``<ledger_dir>/pool.ledger.jsonl``.
+
+    ``chunksize`` is accepted for API compatibility; dispatch is
+    per-cell so each result can be awaited (and timed out) individually.
     """
     cells = list(cells)
     n = default_processes() if processes is None else processes
     n = min(n, len(cells))
-    if len(cells) < 2 or not _pool_usable(n):
-        return [measure_cell(c) for c in cells]
-    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods()
-                         else None)
+    ledger = _pool_ledger(ledger_dir)
     try:
-        with ctx.Pool(n) as pool:
-            return pool.map(measure_cell, cells, chunksize=chunksize)
-    except (OSError, PermissionError):
-        # The probe passed but the pool still failed (e.g. fork limits):
-        # the cells are deterministic, so inline execution is equivalent.
-        return [measure_cell(c) for c in cells]
+        if len(cells) < 2 or not _pool_usable(n):
+            return _run_inline(cells, retries, backoff, ledger)
+        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods()
+                             else None)
+        try:
+            with ctx.Pool(n) as pool:
+                pending = [pool.apply_async(measure_cell, (c,))
+                           for c in cells]
+                results: List[BenchRecord] = []
+                failures: List[CellFailure] = []
+                for cell, fut in zip(cells, pending):
+                    try:
+                        results.append(fut.get(timeout))
+                        continue
+                    except mp.TimeoutError:
+                        err = (f"worker returned nothing within {timeout:g}s "
+                               f"(presumed killed)")
+                    except _retryable() as e:
+                        err = f"{type(e).__name__}: {e}"
+                    rec, failure = _retry_cell(cell, err, 1, retries,
+                                               backoff, ledger)
+                    if failure is not None:
+                        failures.append(failure)
+                    else:
+                        results.append(rec)
+                if failures:
+                    raise CellFailureError(failures)
+                return results
+        except (OSError, PermissionError):
+            # The probe passed but the pool still failed (e.g. fork
+            # limits): the cells are deterministic, so inline execution
+            # is equivalent.
+            return _run_inline(cells, retries, backoff, ledger)
+    finally:
+        if ledger is not None:
+            ledger.close()
 
 
 # ------------------------------------------------------------ engine bench

@@ -199,6 +199,11 @@ class Executable:
                 )
             for f in errors:
                 warnings.warn(f"TTG lint: {f}", RuntimeWarning, stacklevel=3)
+        if backend.checkpointer is not None:
+            # Durable runs snapshot this executable's bookkeeping
+            # (pending instances, per-template counts) at every cadence
+            # point; see repro.durability.checkpoint.
+            backend.checkpointer.bind_executable(self)
         _notify_observers("executable", self)
 
     @classmethod
@@ -272,6 +277,8 @@ class Executable:
         if self.backend.ledger is not None:
             self.backend.ledger.phase("fence", sim=self.backend.engine.now,
                                       graph=self.graph.name)
+        if self.backend.checkpointer is not None:
+            self.backend.checkpointer.phase("fence")
         makespan = self.backend.run(max_events=max_events)
         if self.sanitizer is not None and max_events is None:
             self.sanitizer.on_shutdown()

@@ -1,0 +1,77 @@
+"""Resume a killed benchmark run from its checkpoint directory.
+
+:func:`resume_run` is the programmatic core behind both
+``python -m repro.durability resume`` and ``python -m repro.bench
+--resume``: it reopens the durable run (``run.json`` + the intact
+checkpoint chain), rebuilds the benchmark cell from the stored spec, and
+replays it with the :class:`~repro.durability.checkpoint.Checkpointer`
+in verify mode -- every stored checkpoint's state digest is re-derived
+and compared during the replay, and past the last stored checkpoint the
+run continues to completion writing fresh checkpoints.  Because the
+simulator is deterministic, the resumed run's final stats, traces and
+bench record are bit-for-bit identical to an uninterrupted run (the
+engine-parity suite asserts this for all four applications on both
+engines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.durability.checkpoint import Checkpointer
+
+
+@dataclass
+class ResumeResult:
+    """What one :func:`resume_run` produced."""
+
+    run_id: str
+    record: Any                      # the finished BenchRecord
+    resume_point: str = ""
+    verified: int = 0                # stored checkpoints re-attested
+    written: int = 0                 # fresh checkpoints past the chain
+    problems: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "run": self.run_id, "resume_point": self.resume_point,
+            "verified": self.verified, "written": self.written,
+            "problems": list(self.problems),
+            "record": self.record.as_dict(),
+        }
+
+
+def resume_run(
+    checkpoint_dir: str,
+    run_id: str,
+    *,
+    spec: Optional[Dict[str, Any]] = None,
+    ledger_dir: Optional[str] = None,
+    live: bool = False,
+) -> ResumeResult:
+    """Rebuild and verify-replay the durable run ``run_id``.
+
+    ``spec``, when given, must equal the stored spec
+    (:class:`~repro.durability.checkpoint.ResumeConfigError` otherwise) --
+    a resume must never silently run a different experiment than the one
+    that was killed.  Corrupt or torn checkpoints in the chain are
+    skipped (reported in ``problems``); the replay verifies every intact
+    one.  ``ledger_dir``/``live`` arm the run ledger on the resumed run
+    (observability is not part of the stored spec, so it may differ from
+    the killed run); the ledger header is stamped with the resume point.
+    """
+    from repro.bench.history import measure_cell
+
+    ckpt = Checkpointer(checkpoint_dir, run_id, spec=spec, resume=True)
+    cell = dict(ckpt.spec, checkpointer=ckpt)
+    if ledger_dir is not None:
+        cell["ledger_dir"] = ledger_dir
+    if live:
+        cell["live"] = True
+    record = measure_cell(cell)
+    return ResumeResult(
+        run_id=run_id, record=record, resume_point=ckpt.resume_point,
+        verified=ckpt.verified, written=ckpt.written,
+        problems=list(ckpt.problems),
+    )

@@ -315,6 +315,10 @@ class Backend:
         # phase/heartbeat/progress records to disk during execution.
         # None => zero ledger I/O and no engine hooks installed.
         self.ledger = None
+        # Durability hook point (attach_checkpointer): a
+        # repro.durability.Checkpointer writing crash-consistent snapshots
+        # at engine cadence points.  None => no engine hook installed.
+        self.checkpointer = None
         self._health = None
         self.termination = TerminationDetector()
         # Sharded engines get per-rank conservation ledgers so quiescence
@@ -375,6 +379,20 @@ class Backend:
 
             self._health = ShardHealthProfiler(self)
             self._health.attach()
+
+    def attach_checkpointer(self, checkpointer: Any) -> None:
+        """Write crash-consistent checkpoints of this run (a
+        :class:`~repro.durability.Checkpointer`).
+
+        Installs the engine's ``on_checkpoint`` hook (same hoisted
+        one-int-check pattern as the heartbeat: zero overhead when never
+        attached) and registers this backend so every subsequently built
+        :class:`~repro.core.graph.Executable` joins the snapshot.  Attach
+        before building graphs; see :mod:`repro.durability.checkpoint`
+        for the format and the resume/verify semantics.
+        """
+        self.checkpointer = checkpointer
+        checkpointer.bind(self)
 
     def _ledger_progress(self, sim: float) -> None:
         """One incremental progress snapshot from the live run counters.
@@ -681,6 +699,8 @@ class Backend:
         ledger = self.ledger
         if ledger is not None:
             ledger.phase("execute", sim=self.engine.now)
+        if self.checkpointer is not None:
+            self.checkpointer.phase("execute")
         self.engine.run(max_events=max_events)
         self.termination.validate()
         if ledger is not None:
@@ -698,6 +718,12 @@ class Backend:
         self.stats.makespan = self.engine.now
         if self.telemetry is not None:
             self.telemetry.metrics.gauge("makespan").set(self.engine.now)
+        if self.checkpointer is not None and max_events is None:
+            # Terminal cadence point: a completed run always carries an
+            # attestation of its final state (partial drains excluded --
+            # more work will follow in the same run).
+            self.checkpointer.on_drain(self.engine.now,
+                                       self.engine.events_processed)
         return self.engine.now
 
     def close_ledger(self) -> None:
@@ -714,3 +740,11 @@ class Backend:
             self._health.detach()
             self._health = None
         self.ledger = None  # a later fence() must not write a sealed ledger
+
+    def close_checkpointer(self) -> None:
+        """Disarm the checkpointer's engine hook.  Idempotent; no-op
+        without one."""
+        if self.checkpointer is None:
+            return
+        self.checkpointer.detach()
+        self.checkpointer = None

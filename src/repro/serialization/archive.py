@@ -89,24 +89,44 @@ class BufferInputArchive:
     def load(self) -> Any:
         tag, length = struct.unpack("<BI", self._read(5))
         payload = self._read(length)
-        if tag == _TAG_NONE:
-            return None
-        if tag == _TAG_INT:
-            return struct.unpack("<q", payload)[0]
-        if tag == _TAG_FLOAT:
-            return struct.unpack("<d", payload)[0]
-        if tag == _TAG_STR:
-            return bytes(payload).decode("utf-8")
-        if tag == _TAG_BYTES:
-            return bytes(payload)
-        if tag == _TAG_NDARRAY:
-            (hlen,) = struct.unpack("<I", payload[:4])
-            dtype_str, shape = pickle.loads(bytes(payload[4 : 4 + hlen]))
-            raw = payload[4 + hlen :]
-            return np.frombuffer(raw, dtype=np.dtype(dtype_str)).reshape(shape).copy()
-        if tag == _TAG_PICKLE:
-            return pickle.loads(bytes(payload))
+        try:
+            if tag == _TAG_NONE:
+                return None
+            if tag == _TAG_INT:
+                return struct.unpack("<q", payload)[0]
+            if tag == _TAG_FLOAT:
+                return struct.unpack("<d", payload)[0]
+            if tag == _TAG_STR:
+                return bytes(payload).decode("utf-8")
+            if tag == _TAG_BYTES:
+                return bytes(payload)
+            if tag == _TAG_NDARRAY:
+                (hlen,) = struct.unpack("<I", payload[:4])
+                dtype_str, shape = pickle.loads(bytes(payload[4 : 4 + hlen]))
+                raw = payload[4 + hlen :]
+                return np.frombuffer(raw, dtype=np.dtype(dtype_str)).reshape(shape).copy()
+            if tag == _TAG_PICKLE:
+                return pickle.loads(bytes(payload))
+        except ArchiveError:
+            raise
+        except (struct.error, pickle.UnpicklingError, ValueError, TypeError,
+                UnicodeDecodeError, EOFError, KeyError, AttributeError,
+                IndexError, MemoryError) as e:
+            # A length prefix or payload corrupted in-flight must surface
+            # as malformed archive data, never a bare codec exception.
+            raise ArchiveError(
+                f"malformed frame payload (tag {tag}): {e}"
+            ) from e
         raise ArchiveError(f"unknown frame tag {tag}")
 
     def at_end(self) -> bool:
         return self._pos == len(self._data)
+
+    @property
+    def tell(self) -> int:
+        """Current read offset into the underlying buffer.
+
+        Checkpoint readers use this to know how many bytes the frames
+        consumed so far (e.g. to checksum exactly the span they cover).
+        """
+        return self._pos

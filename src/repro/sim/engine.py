@@ -120,6 +120,14 @@ class Engine:
         # the hook must stay invisible when off.
         self.on_heartbeat: Optional[Callable[[float, int], None]] = None
         self.heartbeat_every: int = 0
+        # Checkpoint hook: same contract and same hoisted-local pattern as
+        # the heartbeat -- ``run`` calls ``on_checkpoint(now,
+        # events_processed)`` at least every ``checkpoint_every`` events,
+        # and the disabled default costs one integer truthiness check per
+        # heap entry.  Installed by
+        # :meth:`repro.runtime.base.Backend.attach_checkpointer`.
+        self.on_checkpoint: Optional[Callable[[float, int], None]] = None
+        self.checkpoint_every: int = 0
 
     @property
     def now(self) -> float:
@@ -259,11 +267,17 @@ class Engine:
         on_heartbeat = self.on_heartbeat
         hb_every = self.heartbeat_every if on_heartbeat is not None else 0
         hb_next = self._events_processed + hb_every
+        on_checkpoint = self.on_checkpoint
+        cp_every = self.checkpoint_every if on_checkpoint is not None else 0
+        cp_next = self._events_processed + cp_every
         try:
             while heap:
                 if hb_every and self._events_processed >= hb_next:
                     on_heartbeat(self._now, self._events_processed)
                     hb_next = self._events_processed + hb_every
+                if cp_every and self._events_processed >= cp_next:
+                    on_checkpoint(self._now, self._events_processed)
+                    cp_next = self._events_processed + cp_every
                 time, seq, payload = heap[0]
                 if until is not None and time > until:
                     self._now = until

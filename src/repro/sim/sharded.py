@@ -249,6 +249,9 @@ class ShardedEngine(Engine):
         on_heartbeat = self.on_heartbeat
         hb_every = self.heartbeat_every if on_heartbeat is not None else 0
         hb_next = self._events_processed + hb_every
+        on_checkpoint = self.on_checkpoint
+        cp_every = self.checkpoint_every if on_checkpoint is not None else 0
+        cp_next = self._events_processed + cp_every
         events_by_shard: List[int] = []
         ev_base = def_base = 0
         try:
@@ -364,6 +367,12 @@ class ShardedEngine(Engine):
                 if hb_every and self._events_processed >= hb_next:
                     on_heartbeat(self._now, self._events_processed)
                     hb_next = self._events_processed + hb_every
+                # Checkpoints land on conservative-window boundaries: the
+                # heaps are between windows here, so the snapshot captures
+                # a consistent global cut of the simulation.
+                if cp_every and self._events_processed >= cp_next:
+                    on_checkpoint(self._now, self._events_processed)
+                    cp_next = self._events_processed + cp_every
         finally:
             self._running = False
             self._window_end = float("-inf")

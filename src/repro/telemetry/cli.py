@@ -231,6 +231,15 @@ def cmd_validate(args: argparse.Namespace, out: TextIO) -> int:
         snap = replay(records)
         result["complete"] = snap.complete
         result["records"] = len(records)
+        # A structurally valid ledger can still describe a run that never
+        # finished: no ledger_close, or a final phase short of "drain" --
+        # the signature of a killed process.  Flagged as a warning, not a
+        # problem (the ledger itself is sound; the run is resumable with
+        # python -m repro.durability resume when checkpoints exist).
+        result["incomplete"] = (not snap.complete) or snap.phase != "drain"
+        result["final_phase"] = snap.phase
+        if snap.resumed_from:
+            result["resumed_from"] = snap.resumed_from
         if args.json:
             json.dump(result, out, indent=2)
             print(file=out)
@@ -244,6 +253,11 @@ def cmd_validate(args: argparse.Namespace, out: TextIO) -> int:
         state = "complete" if snap.complete else "truncated (no ledger_close)"
         print(f"{args.trace}: valid run ledger schema v{version} "
               f"({len(records)} records, {state})", file=out)
+        if result["incomplete"]:
+            print(f"  WARNING: run looks incomplete/killed (final phase "
+                  f"{snap.phase!r}, expected 'drain'); if it was "
+                  f"checkpointed, resume with: python -m repro.durability "
+                  f"resume <dir> {snap.run_id or '<run-id>'}", file=out)
         return 0
 
     from repro.telemetry.export import TRACE_SCHEMA_VERSION

@@ -33,6 +33,14 @@ the reader and dropped, never fatal.  Record types:
   stalled/quiescent ranks.
 - ``quiescence`` -- a rank-quiescence transition on the sharded engine's
   per-rank termination ledger.
+- ``checkpoint`` (v2) -- a durable checkpoint was written or verified at
+  this cadence point (:mod:`repro.durability.checkpoint`): virtual clock,
+  events processed, chain index, state-digest prefix.
+- ``resume`` (v2) -- this run resumed a killed predecessor: the resume
+  point and how many stored checkpoints will be verified during replay.
+- ``retry`` / ``failure`` (v2) -- a benchmark-matrix cell crashed in the
+  worker pool and was retried with backoff / permanently failed
+  (:mod:`repro.bench.parallel`).
 - ``ledger_close`` -- final snapshot; its absence means the run died.
 
 The writer flushes every record (a ledger exists to survive a kill);
@@ -51,12 +59,16 @@ from itertools import count
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 LEDGER_SCHEMA = "repro.telemetry/ledger"
-LEDGER_VERSION = 1
+# v2: durability records (checkpoint / resume) and pool-resilience
+# records (retry / failure).  v1 ledgers remain readable unchanged --
+# the new types are purely additive.
+LEDGER_VERSION = 2
 
 #: Record types a valid ledger may contain.
 RECORD_TYPES = (
     "ledger_open", "phase", "heartbeat", "progress", "window",
-    "quiescence", "ledger_close",
+    "quiescence", "checkpoint", "resume", "retry", "failure",
+    "ledger_close",
 )
 
 #: Life-cycle phases in their canonical order (watch renders them as a
@@ -151,6 +163,24 @@ class LedgerWriter:
 
     def quiescence(self, **fields: Any) -> None:
         self.emit("quiescence", **fields)
+
+    def checkpoint(self, sim: float, events: int, **fields: Any) -> None:
+        """A durable checkpoint was written/verified at this cadence
+        point (v2; emitted by the durability checkpointer)."""
+        self.emit("checkpoint", sim=sim, events=events, host=time.time(),
+                  **fields)
+
+    def resume(self, **fields: Any) -> None:
+        """This run resumes a killed predecessor (v2)."""
+        self.emit("resume", host=time.time(), **fields)
+
+    def retry(self, **fields: Any) -> None:
+        """A benchmark cell crashed and is being retried (v2)."""
+        self.emit("retry", host=time.time(), **fields)
+
+    def failure(self, **fields: Any) -> None:
+        """A benchmark cell permanently failed after its retries (v2)."""
+        self.emit("failure", host=time.time(), **fields)
 
     def close(self, sim: float = 0.0, **fields: Any) -> None:
         """Emit the final snapshot and close the file.  Idempotent."""
@@ -275,6 +305,11 @@ class LedgerSnapshot:
     events_by_shard: List[int] = field(default_factory=list)
     ranks_quiescent: int = 0
     nranks: int = 0
+    checkpoints: int = 0
+    last_checkpoint: Dict[str, Any] = field(default_factory=dict)
+    resumed_from: str = ""
+    retries: int = 0
+    failures: int = 0
     complete: bool = False
     records: int = 0
 
@@ -306,6 +341,8 @@ class LedgerSnapshot:
             self.schema_version = int(rec.get("version", 0))
             self.first_host = float(rec.get("host", 0.0))
             self.last_host = self.first_host
+            if rec.get("resumed_from"):
+                self.resumed_from = str(rec["resumed_from"])
         elif rtype == "phase":
             self.phase = rec.get("phase", "")
             if self.phase not in self.phases_seen:
@@ -340,6 +377,17 @@ class LedgerSnapshot:
             self.ranks_quiescent = int(
                 rec.get("ranks_quiescent", self.ranks_quiescent))
             self.nranks = max(self.nranks, int(rec.get("nranks", 0)))
+        elif rtype == "checkpoint":
+            self.checkpoints += 1
+            self.last_checkpoint = rec
+            self.events = int(rec.get("events", self.events))
+            self.last_host = float(rec.get("host", self.last_host))
+        elif rtype == "resume":
+            self.resumed_from = str(rec.get("point", "")) or self.resumed_from
+        elif rtype == "retry":
+            self.retries += 1
+        elif rtype == "failure":
+            self.failures += 1
         elif rtype == "ledger_close":
             self.complete = True
             self.last_host = float(rec.get("host", self.last_host))
