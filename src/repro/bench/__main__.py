@@ -16,6 +16,17 @@ The benchmark-history watchdog (no experiment argument needed):
     python -m repro.bench --record-history --engine sharded --parallel 4
     python -m repro.bench --record-history --ledger runs/ --live
 
+Root-causing a failure (see ``docs/observability.md``): ``--explain``
+auto-runs the trace differ and the deterministic what-if profiler against
+the baseline window, prints the root-cause block under the failure, and
+writes ``rootcause-<app>.json`` / ``.html`` (``--explain-out``).
+``--slowdown TEMPLATE=FACTOR`` injects a synthetic cost regression through
+the same :class:`repro.sim.cluster.CostOverrides` hook the profiler
+probes with, so the whole pipeline is testable end to end:
+
+    python -m repro.bench --check-regressions --explain
+    python -m repro.bench --check-regressions --slowdown GEMM=2 --explain
+
 Durable runs (crash-consistent checkpoints; see ``docs/durability.md``):
 
     python -m repro.bench --record-history --checkpoint-dir ckpts/
@@ -160,10 +171,121 @@ def run_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_slowdowns(specs: List[str]) -> Dict[str, object]:
+    """``--slowdown T=F`` knobs -> a CostOverrides dict (speedup 1/F)."""
+    from repro.telemetry.whatif import parse_factor
+
+    speedups = {}
+    for spec in specs:
+        name, factor = parse_factor(spec)
+        speedups[name] = 1.0 / factor
+    return {"speedups": speedups}
+
+
+def explain_regressions(
+    reports: List["history.RegressionReport"],
+    fresh: Dict[str, List["history.BenchRecord"]],
+    *,
+    history_dir: str = ".",
+    out_dir: Optional[str] = None,
+) -> List[str]:
+    """Root-cause every gated makespan regression in ``reports``.
+
+    For each regressed (app, config) group, picks the median-makespan
+    baseline record and the trailing candidate (a fresh measurement when
+    one exists, else the newest stored candidate), then runs the exact
+    what-if profiler (:func:`repro.telemetry.whatif.explain`) and the
+    trace differ over deterministic replays of both records.  Prints
+    nothing itself; returns the text blocks to embed in the failure
+    output.  Writes ``rootcause-<app>.json`` and ``rootcause-<app>.html``
+    into ``out_dir`` (default: the history directory).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.telemetry import diff as tdiff
+    from repro.telemetry import whatif
+    from repro.telemetry.report_html import write_diff_report_html
+
+    out_dir = out_dir or history_dir
+    Path(out_dir).mkdir(parents=True, exist_ok=True)
+    blocks: List[str] = []
+    for report in reports:
+        worst: Dict[str, object] = {}
+        for v in report.regressions:
+            if v.metric != "makespan":
+                continue
+            prev = worst.get(v.app)
+            if prev is None or abs(v.delta_pct) > abs(prev.delta_pct):  # type: ignore[union-attr]
+                worst[v.app] = v
+        for app, verdict in sorted(worst.items()):
+            hist = history.BenchHistory.load_app(app, history_dir)
+            key = verdict.config_key  # type: ignore[union-attr]
+            base_recs = hist.baselines(key)
+            cand_recs = ([r for r in fresh.get(app, ())
+                          if r.config_key == key]
+                         or hist.candidates(key))
+            if not base_recs or not cand_recs:
+                blocks.append(f"cannot explain {app} ({key}): missing "
+                              f"baseline or candidate records")
+                continue
+            cand = cand_recs[-1]
+            # Prefer the baseline of the candidate's own seed: same DAG,
+            # same placement, so a probe that undoes a pure cost
+            # regression recovers that baseline makespan bit-for-bit.
+            same_seed = [r for r in base_recs if r.seed == cand.seed]
+            if same_seed:
+                base = same_seed[-1]
+            else:
+                base = sorted(base_recs,
+                              key=lambda r: r.makespan)[len(base_recs) // 2]
+            exp = whatif.explain(base, cand)
+            # Deterministic replays reproduce both records bit-for-bit
+            # while capturing full event traces, so the diff gets span
+            # totals, rank budgets, and both Gantt timelines -- not just
+            # the counts the stored records carry.
+            tel_a: List[object] = []
+            tel_b: List[object] = []
+            whatif.replay_record(base, telemetry_out=tel_a)
+            whatif.replay_record(cand, telemetry_out=tel_b)
+            bus_a = tel_a[0].bus if tel_a else None  # type: ignore[attr-defined]
+            bus_b = tel_b[0].bus if tel_b else None  # type: ignore[attr-defined]
+            if bus_a is not None and bus_b is not None:
+                view_a = tdiff.RunView.from_bus(
+                    bus_a, label=f"baseline {app} seed {base.seed}")
+                view_b = tdiff.RunView.from_bus(
+                    bus_b, label=f"candidate {app} seed {cand.seed}")
+                view_a.bytes_by_protocol = tdiff.protocol_bytes_of(bus_a)
+                view_b.bytes_by_protocol = tdiff.protocol_bytes_of(bus_b)
+                view_a.counters = {k: float(x) for k, x in base.counters.items()}
+                view_b.counters = {k: float(x) for k, x in cand.counters.items()}
+                run_diff = tdiff.diff_runs(view_a, view_b)
+            else:
+                run_diff = tdiff.diff_records(base, cand)
+            blocks.append(exp.format())
+            json_path = Path(out_dir) / f"rootcause-{app}.json"
+            with open(json_path, "w") as fh:
+                json.dump({"schema": "repro.telemetry/rootcause-v1",
+                           "explanation": exp.as_dict(),
+                           "diff": run_diff.as_dict()},
+                          fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            html_path = Path(out_dir) / f"rootcause-{app}.html"
+            write_diff_report_html(
+                str(html_path), run_diff, explanation=exp,
+                bus_a=bus_a, bus_b=bus_b, histories=[hist],
+                title=f"root cause: {app} ({key})",
+            )
+            blocks.append(f"wrote {json_path} and {html_path}")
+    return blocks
+
+
 def run_watchdog_cli(args: argparse.Namespace) -> int:
     """--record-history / --check-regressions / --update-baseline."""
     from repro.bench.parallel import CellFailureError
 
+    overrides = _parse_slowdowns(args.slowdown) if args.slowdown else None
+    fresh: Dict[str, List[history.BenchRecord]] = {}
     try:
         reports, written = history.run_watchdog(
             directory=args.history_dir,
@@ -180,6 +302,8 @@ def run_watchdog_cli(args: argparse.Namespace) -> int:
             live=args.live,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
+            overrides=overrides,
+            fresh_out=fresh,
         )
     except CellFailureError as e:
         # Permanent cell failures (after their retry budget) must fail
@@ -196,6 +320,11 @@ def run_watchdog_cli(args: argparse.Namespace) -> int:
         if bad:
             print(f"REGRESSION: {len(bad)} gated metric(s) regressed "
                   f"beyond threshold", file=sys.stderr)
+            if args.explain:
+                for block in explain_regressions(
+                        reports, fresh, history_dir=args.history_dir,
+                        out_dir=args.explain_out):
+                    print(block)
             return 1
         print("no regressions against the stored baselines")
     return 0
@@ -244,6 +373,19 @@ def main(argv=None) -> int:
                     "already stored after the baseline window")
     wd.add_argument("--threshold", type=float, default=None, metavar="FRAC",
                     help="relative regression tolerance (default 0.10)")
+    wd.add_argument("--explain", action="store_true",
+                    help="on a gated regression, auto-run the trace differ "
+                    "and the deterministic what-if profiler against the "
+                    "baseline window, print the root-cause block, and write "
+                    "rootcause-<app>.json/.html")
+    wd.add_argument("--explain-out", default=None, metavar="DIR",
+                    help="directory for the rootcause-<app>.json/.html "
+                    "reports (default --history-dir)")
+    wd.add_argument("--slowdown", action="append", default=[],
+                    metavar="TEMPLATE=FACTOR",
+                    help="inject a synthetic FACTORx cost regression on "
+                    "TEMPLATE into every measured cell (repeatable; the "
+                    "end-to-end test hook for --explain)")
     wd.add_argument("--engine", default="seq", choices=list(ENGINE_KINDS),
                     help="event engine inside each simulation (default seq); "
                     "'mp' also implies run-level process parallelism")

@@ -34,7 +34,12 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 SCHEMA = "repro.bench/history"
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
+
+#: Baseline windows smaller than this make the MAD spread degenerate
+#: (MAD of <3 samples is 0 or half a range), so :func:`classify` falls
+#: back to the pure relative-threshold margin and flags the verdict.
+MIN_ROBUST_BASELINE = 3
 
 #: Relative tolerance per gated metric (fraction of the baseline median).
 DEFAULT_THRESHOLDS: Dict[str, float] = {
@@ -99,6 +104,13 @@ class BenchRecord:
     # engine remain comparable against the stored baselines.
     host_seconds: float = 0.0
     engine: str = "seq"
+    # v4: the what-if cost overrides active during this run (see
+    # repro.sim.cluster.CostOverrides.as_dict; {} = unperturbed).  Kept
+    # OUT of config_key on purpose: a synthetically perturbed run must
+    # gate against the clean baselines -- that is the whole point of
+    # injecting regressions -- and the what-if replayer needs to know the
+    # recorded factors so probe overrides compose exactly.
+    cost_overrides: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def config_key(self) -> str:
@@ -132,6 +144,7 @@ class BenchRecord:
             "baseline": self.baseline,
             "host_seconds": self.host_seconds,
             "engine": self.engine,
+            "cost_overrides": dict(self.cost_overrides),
         }
 
     @classmethod
@@ -153,6 +166,7 @@ class BenchRecord:
             baseline=bool(obj.get("baseline", False)),
             host_seconds=float(obj.get("host_seconds", 0.0)),
             engine=obj.get("engine", "seq"),
+            cost_overrides=dict(obj.get("cost_overrides", {})),
         )
 
 
@@ -179,10 +193,20 @@ def _migrate_v2(payload: Dict[str, Any]) -> Dict[str, Any]:
     return payload
 
 
+def _migrate_v3(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """v3 -> v4: records gained the what-if cost-override stamp (pre-v4
+    runs were all unperturbed)."""
+    for rec in payload.get("records", []):
+        rec.setdefault("cost_overrides", {})
+    payload["version"] = 4
+    return payload
+
+
 #: version -> migration to the *next* version, applied in sequence.
 _MIGRATIONS: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     1: _migrate_v1,
     2: _migrate_v2,
+    3: _migrate_v3,
 }
 
 
@@ -347,6 +371,7 @@ class MetricVerdict:
     n_baseline: int = 0
     n_candidate: int = 0
     gating: bool = True
+    note: str = ""           # e.g. the small-baseline-window warning
 
     @property
     def delta_pct(self) -> float:
@@ -357,9 +382,11 @@ class MetricVerdict:
     def row(self) -> str:
         mark = {"regressed": "!!", "improved": "++", "unchanged": "  ",
                 "no-baseline": "??"}[self.status]
+        suffix = f"  ({self.note})" if self.note else ""
         return (f"{mark} {self.app:<8} {self.metric:<10} "
                 f"{self.baseline_median:12.6g} -> {self.candidate_median:12.6g} "
-                f"({self.delta_pct:+6.2f}%)  [{self.status}]  {self.config_key}")
+                f"({self.delta_pct:+6.2f}%)  [{self.status}]  {self.config_key}"
+                f"{suffix}")
 
 
 @dataclass
@@ -398,23 +425,38 @@ def classify(
     candidates: Sequence[float],
     threshold: float,
     better: str = "lower",
-) -> Tuple[str, float, float, float]:
+) -> Tuple[str, float, float, float, str]:
     """Compare candidate vs. baseline samples of one metric.
 
-    Returns ``(status, baseline_median, baseline_spread, candidate_median)``.
-    The move must exceed ``max(threshold * |median|, 3 * spread)`` in either
-    direction to count as a change; the sign + ``better`` decide which.
+    Returns ``(status, baseline_median, baseline_spread, candidate_median,
+    note)``.  The move must exceed ``max(threshold * |median|, 3 * spread)``
+    in either direction to count as a change; the sign + ``better`` decide
+    which.
+
+    With fewer than :data:`MIN_ROBUST_BASELINE` baseline samples the MAD
+    spread is degenerate (one sample: exactly 0; two samples: half the
+    range, still no robust scale) and would silently collapse the margin
+    to the pure ``threshold * |median|`` term.  The fallback is now
+    *explicit*: the spread term is dropped entirely and ``note`` carries a
+    warning the verdict surfaces, rather than pretending a 0.0 MAD was a
+    measured spread.
     """
     m_b, spread = robust_stats(baseline)
     m_c = median(candidates)
+    note = ""
+    if len(baseline) < MIN_ROBUST_BASELINE:
+        note = (f"small baseline window (n={len(baseline)} < "
+                f"{MIN_ROBUST_BASELINE}): MAD unreliable, margin is "
+                f"threshold-only")
+        spread = 0.0
     if m_b == 0.0 and m_c == 0.0:
-        return "unchanged", m_b, spread, m_c
+        return "unchanged", m_b, spread, m_c, note
     margin = max(threshold * abs(m_b), 3.0 * spread)
     delta = m_c - m_b
     if abs(delta) <= margin:
-        return "unchanged", m_b, spread, m_c
+        return "unchanged", m_b, spread, m_c, note
     worse = delta > 0 if better == "lower" else delta < 0
-    return ("regressed" if worse else "improved"), m_b, spread, m_c
+    return ("regressed" if worse else "improved"), m_b, spread, m_c, note
 
 
 def check_history(
@@ -450,14 +492,14 @@ def check_history(
             cvals = [r.metric(metric) for r in cands]
             if all(v == 0.0 for v in bvals + cvals):
                 continue   # metric not recorded for this app (e.g. figure-only)
-            status, m_b, spread, m_c = classify(
+            status, m_b, spread, m_c, note = classify(
                 bvals, cvals, thresholds.get(metric, 0.10), better
             )
             report.verdicts.append(MetricVerdict(
                 history.app, key, metric, status,
                 baseline_median=m_b, baseline_spread=spread,
                 candidate_median=m_c, n_baseline=len(base),
-                n_candidate=len(cands),
+                n_candidate=len(cands), note=note,
             ))
         # Host wall-clock cost: reported, never gated (CI runners and
         # laptops are not comparable machines; the engine comparison the
@@ -529,7 +571,7 @@ class SeededBlockCyclic:
 def _observed_record(
     app: str, result: Any, telemetry: Any, *, config: Dict[str, Any],
     seed: int, backend_name: str, host_seconds: float = 0.0,
-    engine: str = "seq",
+    engine: str = "seq", overrides: Any = None,
 ) -> BenchRecord:
     """Assemble a BenchRecord from a driver result + its telemetry."""
     from repro.telemetry import analyze
@@ -559,17 +601,19 @@ def _observed_record(
         git_sha=git_sha(),
         host_seconds=host_seconds,
         engine=engine,
+        cost_overrides=overrides.as_dict() if overrides is not None else {},
     )
 
 
-def _instrumented_cluster(nodes: int, workers: int, engine: str):
+def _instrumented_cluster(nodes: int, workers: int, engine: str,
+                          overrides: Any = None):
     """(cluster, telemetry) pair for one watchdog measurement."""
     from repro.sim.cluster import Cluster, HAWK
     from repro.telemetry import Telemetry
 
     tel = Telemetry(nranks=nodes, capacity=None)
     cluster = Cluster.with_engine(HAWK.with_workers(workers), nodes,
-                                  engine=engine)
+                                  engine=engine, overrides=overrides)
     return cluster, tel
 
 
@@ -614,6 +658,28 @@ def _attach_ledger(
 DEFAULT_CHECKPOINT_EVERY = 2048
 
 
+def _coerce_overrides(overrides: Any) -> Any:
+    """Normalize an ``overrides`` kwarg (CostOverrides | dict | None).
+
+    Dicts are the picklable form used by fork-pool cell specs and stored
+    checkpoint specs; both round-trip through
+    :meth:`repro.sim.cluster.CostOverrides.as_dict`.
+    """
+    if overrides is None:
+        return None
+    from repro.sim.cluster import CostOverrides
+
+    return CostOverrides.coerce(overrides)
+
+
+def _spec_params(params: Dict[str, Any], overrides: Any) -> Dict[str, Any]:
+    """Checkpoint-spec params with the override stamp (when active), so a
+    resumed run replays under the exact same perturbed costs."""
+    if overrides is not None:
+        params = dict(params, overrides=overrides.as_dict())
+    return params
+
+
 def _make_checkpointer(
     app: str, seed: int, engine: str, params: Dict[str, Any],
     checkpoint_dir: Optional[str], checkpoint_every: int, checkpointer: Any,
@@ -643,7 +709,8 @@ def measure_potrf(
     workers: int = 4, engine: str = "seq",
     ledger_dir: Optional[str] = None, live: bool = False,
     checkpoint_dir: Optional[str] = None, checkpoint_every: int = 0,
-    checkpointer: Any = None,
+    checkpointer: Any = None, overrides: Any = None,
+    telemetry_out: Optional[List[Any]] = None,
 ) -> BenchRecord:
     """One telemetry-instrumented POTRF run on the scaled Hawk machine."""
     from time import perf_counter
@@ -652,12 +719,13 @@ def measure_potrf(
     from repro.linalg import TiledMatrix
     from repro.runtime import ParsecBackend
 
+    ov = _coerce_overrides(overrides)
     a = TiledMatrix(n, b, SeededBlockCyclic.for_ranks(nodes, seed), synthetic=True)
-    cluster, tel = _instrumented_cluster(nodes, workers, engine)
+    cluster, tel = _instrumented_cluster(nodes, workers, engine, overrides=ov)
     backend = ParsecBackend(cluster, telemetry=tel)
     ckpt = _make_checkpointer(
         "potrf", seed, engine,
-        {"nodes": nodes, "n": n, "b": b, "workers": workers},
+        _spec_params({"nodes": nodes, "n": n, "b": b, "workers": workers}, ov),
         checkpoint_dir, checkpoint_every, checkpointer)
     _attach_ledger(backend, "potrf", seed, engine, ledger_dir, live,
                    resumed_from=ckpt.resume_point if ckpt is not None else "")
@@ -668,11 +736,13 @@ def measure_potrf(
     host = perf_counter() - t0
     backend.close_ledger()
     backend.close_checkpointer()
+    if telemetry_out is not None:
+        telemetry_out.append(tel)
     config = {"machine": "hawk", "nodes": nodes, "workers": workers,
               "n": n, "b": b}
     return _observed_record("potrf", res, tel, config=config, seed=seed,
                             backend_name="parsec", host_seconds=host,
-                            engine=engine)
+                            engine=engine, overrides=ov)
 
 
 def measure_fw(
@@ -680,7 +750,8 @@ def measure_fw(
     workers: int = 4, engine: str = "seq",
     ledger_dir: Optional[str] = None, live: bool = False,
     checkpoint_dir: Optional[str] = None, checkpoint_every: int = 0,
-    checkpointer: Any = None,
+    checkpointer: Any = None, overrides: Any = None,
+    telemetry_out: Optional[List[Any]] = None,
 ) -> BenchRecord:
     """One telemetry-instrumented FW-APSP run on the scaled Hawk machine."""
     from time import perf_counter
@@ -689,12 +760,13 @@ def measure_fw(
     from repro.linalg import TiledMatrix
     from repro.runtime import ParsecBackend
 
+    ov = _coerce_overrides(overrides)
     w = TiledMatrix(n, b, SeededBlockCyclic.for_ranks(nodes, seed), synthetic=True)
-    cluster, tel = _instrumented_cluster(nodes, workers, engine)
+    cluster, tel = _instrumented_cluster(nodes, workers, engine, overrides=ov)
     backend = ParsecBackend(cluster, telemetry=tel)
     ckpt = _make_checkpointer(
         "fw", seed, engine,
-        {"nodes": nodes, "n": n, "b": b, "workers": workers},
+        _spec_params({"nodes": nodes, "n": n, "b": b, "workers": workers}, ov),
         checkpoint_dir, checkpoint_every, checkpointer)
     _attach_ledger(backend, "fw", seed, engine, ledger_dir, live,
                    resumed_from=ckpt.resume_point if ckpt is not None else "")
@@ -705,11 +777,13 @@ def measure_fw(
     host = perf_counter() - t0
     backend.close_ledger()
     backend.close_checkpointer()
+    if telemetry_out is not None:
+        telemetry_out.append(tel)
     config = {"machine": "hawk", "nodes": nodes, "workers": workers,
               "n": n, "b": b}
     return _observed_record("fw", res, tel, config=config, seed=seed,
                             backend_name="parsec", host_seconds=host,
-                            engine=engine)
+                            engine=engine, overrides=ov)
 
 
 def measure_bspmm(
@@ -717,7 +791,8 @@ def measure_bspmm(
     workers: int = 4, engine: str = "seq",
     ledger_dir: Optional[str] = None, live: bool = False,
     checkpoint_dir: Optional[str] = None, checkpoint_every: int = 0,
-    checkpointer: Any = None,
+    checkpointer: Any = None, overrides: Any = None,
+    telemetry_out: Optional[List[Any]] = None,
 ) -> BenchRecord:
     """One block-sparse SUMMA (BSPMM) run on a Yukawa-structured matrix.
 
@@ -730,13 +805,14 @@ def measure_bspmm(
     from repro.linalg import yukawa_blocksparse
     from repro.runtime import ParsecBackend
 
+    ov = _coerce_overrides(overrides)
     a = yukawa_blocksparse(natoms, target_tile=target_tile, seed=seed)
-    cluster, tel = _instrumented_cluster(nodes, workers, engine)
+    cluster, tel = _instrumented_cluster(nodes, workers, engine, overrides=ov)
     backend = ParsecBackend(cluster, telemetry=tel)
     ckpt = _make_checkpointer(
         "bspmm", seed, engine,
-        {"nodes": nodes, "natoms": natoms, "target_tile": target_tile,
-         "workers": workers},
+        _spec_params({"nodes": nodes, "natoms": natoms,
+                      "target_tile": target_tile, "workers": workers}, ov),
         checkpoint_dir, checkpoint_every, checkpointer)
     _attach_ledger(backend, "bspmm", seed, engine, ledger_dir, live,
                    resumed_from=ckpt.resume_point if ckpt is not None else "")
@@ -747,11 +823,13 @@ def measure_bspmm(
     host = perf_counter() - t0
     backend.close_ledger()
     backend.close_checkpointer()
+    if telemetry_out is not None:
+        telemetry_out.append(tel)
     config = {"machine": "hawk", "nodes": nodes, "workers": workers,
               "natoms": natoms, "tile": target_tile}
     return _observed_record("bspmm", res, tel, config=config, seed=seed,
                             backend_name="parsec", host_seconds=host,
-                            engine=engine)
+                            engine=engine, overrides=ov)
 
 
 def measure_mra(
@@ -759,7 +837,8 @@ def measure_mra(
     workers: int = 4, engine: str = "seq",
     ledger_dir: Optional[str] = None, live: bool = False,
     checkpoint_dir: Optional[str] = None, checkpoint_every: int = 0,
-    checkpointer: Any = None,
+    checkpointer: Any = None, overrides: Any = None,
+    telemetry_out: Optional[List[Any]] = None,
 ) -> BenchRecord:
     """One MRA (project/compress/reconstruct/norm) run over a seeded batch
     of sharp Gaussians (no Gflop/s figure: the workload is tree-structured,
@@ -769,12 +848,14 @@ def measure_mra(
     from repro.apps.mra import mra_ttg, random_gaussians
     from repro.runtime import ParsecBackend
 
+    ov = _coerce_overrides(overrides)
     functions = random_gaussians(nfuncs, seed=seed)
-    cluster, tel = _instrumented_cluster(nodes, workers, engine)
+    cluster, tel = _instrumented_cluster(nodes, workers, engine, overrides=ov)
     backend = ParsecBackend(cluster, telemetry=tel)
     ckpt = _make_checkpointer(
         "mra", seed, engine,
-        {"nodes": nodes, "nfuncs": nfuncs, "k": k, "workers": workers},
+        _spec_params({"nodes": nodes, "nfuncs": nfuncs, "k": k,
+                      "workers": workers}, ov),
         checkpoint_dir, checkpoint_every, checkpointer)
     _attach_ledger(backend, "mra", seed, engine, ledger_dir, live,
                    resumed_from=ckpt.resume_point if ckpt is not None else "")
@@ -785,11 +866,13 @@ def measure_mra(
     host = perf_counter() - t0
     backend.close_ledger()
     backend.close_checkpointer()
+    if telemetry_out is not None:
+        telemetry_out.append(tel)
     config = {"machine": "hawk", "nodes": nodes, "workers": workers,
               "nfuncs": nfuncs, "k": k}
     return _observed_record("mra", res, tel, config=config, seed=seed,
                             backend_name="parsec", host_seconds=host,
-                            engine=engine)
+                            engine=engine, overrides=ov)
 
 
 #: The default watchdog matrix: app -> measurement function of one seed.
@@ -836,6 +919,7 @@ def measure_matrix(
     live: bool = False,
     checkpoint_dir: Optional[str] = None,
     checkpoint_every: int = 0,
+    overrides: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, List[BenchRecord]]:
     """Seed-swept measurements of the watchdog matrix, grouped by app.
 
@@ -848,7 +932,10 @@ def measure_matrix(
     ``live`` streams a console dashboard per cell.  ``checkpoint_dir``
     arms durable checkpoints on every cell (one run directory per cell;
     see :mod:`repro.durability`) -- a killed sweep is resumable cell by
-    cell with ``--resume``.
+    cell with ``--resume``.  ``overrides`` (a plain
+    :meth:`~repro.sim.cluster.CostOverrides.as_dict` mapping, so cells
+    stay picklable) perturbs every cell's costs -- the synthetic-regression
+    injection hook behind ``--slowdown``.
     """
     for app in apps:
         if app not in MEASUREMENTS:
@@ -867,6 +954,8 @@ def measure_matrix(
                 cell["checkpoint_dir"] = checkpoint_dir
                 if checkpoint_every:
                     cell["checkpoint_every"] = checkpoint_every
+            if overrides:
+                cell["overrides"] = dict(overrides)
             cells.append(cell)
     if parallel > 1:
         from repro.bench.parallel import run_cells
@@ -895,6 +984,8 @@ def run_watchdog(
     live: bool = False,
     checkpoint_dir: Optional[str] = None,
     checkpoint_every: int = 0,
+    overrides: Optional[Dict[str, Any]] = None,
+    fresh_out: Optional[Dict[str, List[BenchRecord]]] = None,
 ) -> Tuple[List[RegressionReport], List[Path]]:
     """The full record / baseline / check cycle the CLI drives.
 
@@ -903,15 +994,21 @@ def run_watchdog(
     - ``record``: append the fresh records to the ``BENCH_*.json`` files.
     - ``update_baseline``: mark the fresh records as baseline.
     - ``engine`` / ``parallel`` / ``ledger_dir`` / ``live`` /
-      ``checkpoint_dir`` / ``checkpoint_every``: forwarded to
-      :func:`measure_matrix`.
+      ``checkpoint_dir`` / ``checkpoint_every`` / ``overrides``: forwarded
+      to :func:`measure_matrix`.
+    - ``fresh_out``: when given, filled with the fresh per-app records so
+      the caller can root-cause a failure without re-measuring (the
+      ``--explain`` path).
     Returns the per-app reports and the paths written (if any).
     """
     fresh = (measure_matrix(apps, seeds, engine=engine, parallel=parallel,
                             ledger_dir=ledger_dir, live=live,
                             checkpoint_dir=checkpoint_dir,
-                            checkpoint_every=checkpoint_every)
+                            checkpoint_every=checkpoint_every,
+                            overrides=overrides)
              if measure else {a: [] for a in apps})
+    if fresh_out is not None:
+        fresh_out.update(fresh)
     reports: List[RegressionReport] = []
     written: List[Path] = []
     for app in apps:

@@ -146,6 +146,12 @@ class WorkerPool:
         self._gpu_queue = get_scheduler(backend.config.scheduler)
         self._resident: set = set()
         self._node = node
+        # What-if cost-override hook (repro.sim.cluster.CostOverrides):
+        # per-template virtual speedups applied as exact duration divisions
+        # so the deterministic engine replays the counterfactual run
+        # bit-for-bit.  None => zero-overhead default path.
+        ov = getattr(backend.cluster, "overrides", None)
+        self._speedups = dict(ov.speedups) if ov is not None and ov.speedups else None
         self.gpu_tasks_executed = 0
         self.gpu_transfer_bytes = 0
 
@@ -215,6 +221,10 @@ class WorkerPool:
             worker = self._idle.pop()
             start = engine.now
             duration = self._node.compute_time(task.flops, task.bytes_moved)
+            if self._speedups is not None:
+                s = self._speedups.get(task.name)
+                if s:
+                    duration = duration / s
             engine.schedule_at(start + duration, self._complete, task, worker,
                                start, rank=self.rank)
         while self._gpu_idle and self._gpu_queue:
@@ -224,6 +234,10 @@ class WorkerPool:
             transfer = self._transfer_bytes(task)
             self.gpu_transfer_bytes += transfer
             duration = self._node.gpu_compute_time(task.flops, transfer)
+            if self._speedups is not None:
+                s = self._speedups.get(task.name)
+                if s:
+                    duration = duration / s
             engine.schedule_at(
                 start + duration, self._complete_gpu, task, slot, start,
                 transfer, rank=self.rank

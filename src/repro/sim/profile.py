@@ -128,3 +128,27 @@ class Profile:
             f"mean latency: {comm['mean_latency']*1e6:.2f} us",
         ]
         return "\n".join(lines)
+
+
+def whatif_estimate(
+    makespan: float,
+    template_total: float,
+    total_busy: float,
+    speedup: float,
+) -> float:
+    """First-order analytic makespan estimate under a template speedup.
+
+    Amdahl-style: the template's share of total busy time shrinks by the
+    speedup factor while everything else holds.  This is the *approximate*
+    bound a sampling causal profiler would report; the exact answer comes
+    from deterministic replay with a
+    :class:`repro.sim.cluster.CostOverrides` probe
+    (:mod:`repro.telemetry.whatif`), which this estimate cross-checks and
+    seeds (sweeping the estimate first lets the replayer skip knobs whose
+    predicted effect is negligible).
+    """
+    if makespan <= 0.0 or total_busy <= 0.0 or speedup <= 0.0:
+        return makespan
+    share = min(template_total / total_busy, 1.0)
+    scale = 1.0 - share + share / speedup
+    return makespan * scale

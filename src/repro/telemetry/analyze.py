@@ -284,27 +284,13 @@ def compare_counters(
     """Rows of ``(counter, value_a, value_b, delta)`` between two runs.
 
     Takes the payloads of :func:`repro.telemetry.export.read_counters_json`;
-    histogram entries compare their totals.
+    histogram entries compare their totals.  Thin wrapper over the single
+    alignment path in :func:`repro.telemetry.diff.diff_counter_payloads`
+    (the lazy import breaks the analyze <-> diff module cycle).
     """
-    ca, cb = a.get("counters", a), b.get("counters", b)
+    from repro.telemetry.diff import diff_counter_payloads
 
-    def scalar(snap: Any) -> float:
-        if isinstance(snap, dict):
-            if "value" in snap:
-                return float(snap["value"])
-            if "total" in snap:
-                return float(snap["total"])
-            # Histogram snapshot missing its total (e.g. hand-written or
-            # pre-v1 payloads): fall back to count, else treat as absent.
-            return float(snap.get("count", 0.0))
-        return float(snap)
-
-    rows = []
-    for key in sorted(set(ca) | set(cb)):
-        va = scalar(ca[key]) if key in ca else 0.0
-        vb = scalar(cb[key]) if key in cb else 0.0
-        rows.append((key, va, vb, vb - va))
-    return rows
+    return diff_counter_payloads(a, b)
 
 
 def format_compare(rows: List[Tuple[str, float, float, float]],

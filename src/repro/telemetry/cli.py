@@ -21,7 +21,19 @@ Subcommands:
   ``--history-dir`` to include the BENCH_*.json trend charts).
 - ``critical-path LOG.jsonl`` -- longest task chain of a recording.
 - ``export LOG.jsonl -o trace.json`` -- convert JSONL to Chrome trace.
-- ``compare A.json B.json`` -- counter deltas between two counters JSONs.
+- ``diff A B`` -- align two recorded runs (JSONL traces, counters JSONs,
+  or ``BENCH_*.json`` histories -- kinds auto-detected and mixable) and
+  print the ranked attribution report: template span totals, protocol
+  byte shifts, per-rank idle divergence, critical-path churn.  ``--json``
+  emits the attribution-report object; ``--html`` renders the side-by-side
+  report; ``--select-a``/``--select-b`` pick records out of a history
+  (``last`` | ``baseline`` | ``seed:<n>`` | ``index:<i>``).
+- ``whatif HISTORY.json`` -- deterministic causal profiling: replay a
+  recorded run with perturbed costs (``--speedup T=F``,
+  ``--latency-scale``, ``--bandwidth-scale``, ``--nodes``) and report the
+  exact counterfactual makespan; ``--sweep`` ranks every knob.
+- ``compare A.json B.json`` -- counter deltas between two counters JSONs
+  (deprecated alias: ``diff`` covers counters JSONs and more).
 - ``validate FILE`` -- schema-check a Chrome trace *or* a run ledger
   (auto-detected); diagnostics name the schema version, ``--json`` emits
   a machine-readable result, and traces recorded on an overflowing ring
@@ -189,10 +201,131 @@ def cmd_export(args: argparse.Namespace, out: TextIO) -> int:
 
 
 def cmd_compare(args: argparse.Namespace, out: TextIO) -> int:
+    """Deprecated thin alias: the counter diff now lives in the unified
+    diff engine (:func:`repro.telemetry.diff.diff_counter_payloads`);
+    ``telemetry diff`` handles counters JSONs plus traces and histories."""
+    print("note: 'compare' is deprecated; use 'diff' (same counter table, "
+          "plus traces and BENCH histories)", file=out)
     a = read_counters_json(args.a)
     b = read_counters_json(args.b)
     rows = analyze.compare_counters(a, b)
     print(analyze.format_compare(rows, only_changed=args.only_changed), file=out)
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.telemetry.diff import diff_runs, load_view
+
+    try:
+        view_a = load_view(args.a, selector=args.select_a)
+        view_b = load_view(args.b, selector=args.select_b)
+    except ValueError as e:
+        print(f"diff: {e}", file=out)
+        return 1
+    result = diff_runs(view_a, view_b)
+    if args.json:
+        json.dump(result.as_dict(), out, indent=2)
+        print(file=out)
+    else:
+        print(result.format(only_changed=not args.all), file=out)
+    if args.html:
+        from repro.telemetry.report_html import write_diff_report_html
+
+        bus_a = read_jsonl(args.a) if args.a.endswith(".jsonl") else None
+        bus_b = read_jsonl(args.b) if args.b.endswith(".jsonl") else None
+        nbytes = write_diff_report_html(
+            args.html, result, bus_a=bus_a, bus_b=bus_b,
+            title=f"run diff: {args.a} vs {args.b}",
+        )
+        print(f"wrote {args.html} ({nbytes} bytes)", file=out)
+    return 0
+
+
+def cmd_whatif(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.bench.history import BenchHistory
+    from repro.telemetry import whatif
+    from repro.telemetry.diff import select_record, sniff_payload_kind
+
+    try:
+        kind = sniff_payload_kind(args.history)
+    except (OSError, ValueError) as e:
+        print(f"whatif: {e}", file=out)
+        return 1
+    if kind != "bench-history":
+        print(f"whatif: {args.history} is a {kind!r} payload; what-if replay "
+              "needs a BENCH_*.json history (the stored record is the "
+              "replayable graph spec)", file=out)
+        return 1
+    history = BenchHistory.load(args.history)
+    try:
+        record = select_record(history.records, args.select)
+        speedups = dict(whatif.parse_factor(s) for s in args.speedup or ())
+    except ValueError as e:
+        print(f"whatif: {e}", file=out)
+        return 1
+
+    if args.sweep:
+        rows = whatif.sensitivity(
+            record, factor=args.factor,
+            node_counts=tuple(args.nodes) if args.nodes else (),
+        )
+        if args.json:
+            json.dump({
+                "schema": "repro.telemetry/whatif-sweep-v1",
+                "record": {"app": record.app, "seed": record.seed,
+                           "makespan": record.makespan,
+                           "cost_overrides": record.cost_overrides},
+                "rows": [
+                    {"knob": s.knob, "kind": s.kind, "makespan": s.makespan,
+                     "delta": s.delta, "pct": s.pct}
+                    for s in rows
+                ],
+            }, out, indent=2)
+            print(file=out)
+        else:
+            print(f"what-if sweep over {record.app} seed {record.seed} "
+                  f"(makespan {record.makespan * 1e3:.4f} ms, factor "
+                  f"{args.factor:g}):", file=out)
+            print(whatif.format_sensitivity(rows), file=out)
+        return 0
+
+    rep = whatif.replay_record(
+        record,
+        speedups=speedups,
+        latency_scale=args.latency_scale,
+        bandwidth_scale=args.bandwidth_scale,
+        nodes=args.nodes[0] if args.nodes else None,
+    )
+    delta = rep.makespan - record.makespan
+    if args.json:
+        json.dump({
+            "schema": "repro.telemetry/whatif-v1",
+            "record": {"app": record.app, "seed": record.seed,
+                       "makespan": record.makespan,
+                       "cost_overrides": record.cost_overrides},
+            "probe": {"speedups": speedups,
+                      "latency_scale": args.latency_scale,
+                      "bandwidth_scale": args.bandwidth_scale,
+                      "nodes": args.nodes[0] if args.nodes else None},
+            "makespan": rep.makespan,
+            "delta": delta,
+        }, out, indent=2)
+        print(file=out)
+    else:
+        knobs = ", ".join(
+            [f"{k}={v:g}" for k, v in speedups.items()]
+            + ([f"latency x{args.latency_scale:g}"]
+               if args.latency_scale != 1.0 else [])
+            + ([f"bandwidth x{args.bandwidth_scale:g}"]
+               if args.bandwidth_scale != 1.0 else [])
+            + ([f"nodes {args.nodes[0]}"] if args.nodes else [])
+        ) or "none (pure replay)"
+        print(f"what-if replay of {record.app} seed {record.seed} "
+              f"(recorded overrides: {record.cost_overrides or '{}'}):",
+              file=out)
+        print(f"  knobs: {knobs}", file=out)
+        print(f"  makespan {record.makespan * 1e3:.4f} -> "
+              f"{rep.makespan * 1e3:.4f} ms ({delta * 1e3:+.4f} ms)", file=out)
     return 0
 
 
@@ -325,7 +458,8 @@ def cmd_watch(args: argparse.Namespace, out: TextIO) -> int:
 # -------------------------------------------------------------------- main
 
 
-def main(argv: Optional[Sequence[str]] = None, stream: TextIO = None) -> int:
+def main(argv: Optional[Sequence[str]] = None,
+         stream: Optional[TextIO] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.telemetry",
         description="Record, export and analyze TTG runtime telemetry.",
@@ -378,7 +512,52 @@ def main(argv: Optional[Sequence[str]] = None, stream: TextIO = None) -> int:
     p.add_argument("-o", "--output", required=True, metavar="TRACE.json")
     p.set_defaults(fn=cmd_export)
 
-    p = sub.add_parser("compare", help="counter deltas between two runs")
+    p = sub.add_parser(
+        "diff",
+        help="align two recorded runs and print the attribution report")
+    p.add_argument("a", metavar="A", help="JSONL trace, counters JSON, "
+                   "or BENCH_*.json history (auto-detected)")
+    p.add_argument("b", metavar="B")
+    p.add_argument("--select-a", default="baseline", metavar="SEL",
+                   help="record selector when A is a history: last | "
+                        "baseline | seed:<n> | index:<i> (default baseline)")
+    p.add_argument("--select-b", default="last", metavar="SEL",
+                   help="record selector when B is a history (default last)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the attribution-report JSON object")
+    p.add_argument("--html", metavar="REPORT.html",
+                   help="additionally render the side-by-side HTML report")
+    p.add_argument("--all", action="store_true",
+                   help="include rows with zero delta")
+    p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser(
+        "whatif",
+        help="exact counterfactual replay of a recorded bench run")
+    p.add_argument("history", metavar="BENCH_app.json")
+    p.add_argument("--select", default="last", metavar="SEL",
+                   help="record selector: last | baseline | seed:<n> | "
+                        "index:<i> (default last)")
+    p.add_argument("--speedup", action="append", metavar="TEMPLATE=FACTOR",
+                   help="virtual speedup probe (repeatable; FACTOR>1 "
+                        "speeds the template up, <1 slows it down)")
+    p.add_argument("--latency-scale", type=float, default=1.0, metavar="F",
+                   help="scale network latency by F")
+    p.add_argument("--bandwidth-scale", type=float, default=1.0, metavar="F",
+                   help="scale network bandwidth by F")
+    p.add_argument("--nodes", type=int, action="append", metavar="N",
+                   help="replay at N ranks (repeatable with --sweep)")
+    p.add_argument("--sweep", action="store_true",
+                   help="rank makespan sensitivity across every knob")
+    p.add_argument("--factor", type=float, default=2.0, metavar="F",
+                   help="probe factor for --sweep (default 2)")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable result object")
+    p.set_defaults(fn=cmd_whatif)
+
+    p = sub.add_parser(
+        "compare",
+        help="counter deltas between two runs (deprecated: use diff)")
     p.add_argument("a", metavar="A.json")
     p.add_argument("b", metavar="B.json")
     p.add_argument("--only-changed", action="store_true",
@@ -411,4 +590,7 @@ def main(argv: Optional[Sequence[str]] = None, stream: TextIO = None) -> int:
 
     args = parser.parse_args(argv)
     out = stream or sys.stdout
-    return args.fn(args, out)
+    try:
+        return args.fn(args, out)
+    except BrokenPipeError:
+        return 0  # downstream consumer (head, less) closed the pipe

@@ -38,6 +38,10 @@ the reader and dropped, never fatal.  Record types:
   events processed, chain index, state-digest prefix.
 - ``resume`` (v2) -- this run resumed a killed predecessor: the resume
   point and how many stored checkpoints will be verified during replay.
+  A resumed run may *append* to its predecessor's ledger file
+  (``LedgerWriter(append=True)``); the resume record is then the takeover
+  boundary -- it may follow a torn line (the predecessor died mid-write),
+  carries the resuming run's id, and restarts the ``seq`` counter.
 - ``retry`` / ``failure`` (v2) -- a benchmark-matrix cell crashed in the
   worker pool and was retried with backoff / permanently failed
   (:mod:`repro.bench.parallel`).
@@ -95,6 +99,12 @@ class LedgerWriter:
     persistence).  ``sinks`` are callables receiving every record dict as
     it is emitted -- the live dashboard subscribes here.  Every record is
     flushed immediately so a kill leaves at most one torn line.
+
+    ``append=True`` takes over an existing ledger file of a killed
+    predecessor run: the file is opened for appending and **no**
+    ``ledger_open`` header is written -- the caller must emit
+    :meth:`resume` as its first record, which is the takeover boundary
+    the reader and :func:`validate_ledger` recognize.
     """
 
     def __init__(
@@ -104,16 +114,29 @@ class LedgerWriter:
         run_id: Optional[str] = None,
         sinks: Tuple[Callable[[Dict[str, Any]], None], ...] = (),
         meta: Optional[Dict[str, Any]] = None,
+        append: bool = False,
     ) -> None:
         self.run_id = run_id or new_run_id()
         self.path = path
-        self._fh: Optional[io.TextIOBase] = open(path, "w") if path else None
+        mode = "a" if append else "w"
+        self._fh: Optional[io.TextIOBase] = open(path, mode) if path else None
+        if append and self._fh is not None and path is not None:
+            # The predecessor may have died mid-write without a trailing
+            # newline; terminate its torn line so our records start clean.
+            if os.path.getsize(path) > 0:
+                with open(path, "rb") as rf:
+                    rf.seek(-1, os.SEEK_END)
+                    if rf.read(1) != b"\n":
+                        self._fh.write("\n")
+                        self._fh.flush()
         self._sinks = list(sinks)
         self._seq = count(0)
         self.records_written = 0
         self.closed = False
-        self.emit("ledger_open", schema=LEDGER_SCHEMA, version=LEDGER_VERSION,
-                  host=time.time(), **(meta or {}))
+        if not append:
+            self.emit("ledger_open", schema=LEDGER_SCHEMA,
+                      version=LEDGER_VERSION, host=time.time(),
+                      **(meta or {}))
 
     # --------------------------------------------------------------- output
 
@@ -200,8 +223,11 @@ def iter_ledger(path: str) -> Iterator[Dict[str, Any]]:
     """Yield the parseable records of a ledger file.
 
     A torn final line (the writer was killed mid-write) is silently
-    dropped; a torn line *followed by* further records raises, because
-    that means corruption rather than a kill.
+    dropped.  A torn line followed by a parseable ``resume`` record is the
+    crash/resume boundary of an append-mode takeover
+    (``LedgerWriter(append=True)``): the torn record is skipped and
+    reading continues.  A torn line followed by anything *else* raises,
+    because that means corruption rather than a kill.
     """
     pending_error: Optional[str] = None
     with open(path) as fh:
@@ -209,15 +235,21 @@ def iter_ledger(path: str) -> Iterator[Dict[str, Any]]:
             line = line.strip()
             if not line:
                 continue
-            if pending_error is not None:
-                raise LedgerError(pending_error)
             try:
                 rec = json.loads(line)
             except json.JSONDecodeError:
+                if pending_error is not None:
+                    raise LedgerError(pending_error)
                 pending_error = f"{path}:{lineno}: unparseable mid-file record"
                 continue
             if not isinstance(rec, dict):
                 raise LedgerError(f"{path}:{lineno}: record is not an object")
+            if pending_error is not None:
+                if rec.get("type") != "resume":
+                    raise LedgerError(pending_error)
+                # The predecessor died mid-write and a resumed run took
+                # the file over: drop the torn record, keep reading.
+                pending_error = None
             yield rec
 
 
@@ -260,6 +292,11 @@ def validate_ledger(records: List[Dict[str, Any]]) -> List[str]:
         rtype = rec.get("type")
         if rtype not in RECORD_TYPES:
             problems.append(f"{where}: unknown record type {rtype!r}")
+        if rtype == "resume" and i > 0 and rec.get("run") != run:
+            # Append-mode takeover: the resuming run writes under its own
+            # id with a fresh seq counter from here on.
+            run = rec.get("run")
+            prev_seq = -1
         if rec.get("run") != run:
             problems.append(f"{where}: run id {rec.get('run')!r} != header "
                             f"{run!r}")

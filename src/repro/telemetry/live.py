@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 import sys
 import time
-from typing import Any, Dict, IO, Iterator, List, Optional
+from typing import Any, Callable, Dict, IO, Iterator, List, Optional
 
 from repro.telemetry.ledger import PHASES, LedgerSnapshot, replay
 
@@ -205,7 +205,7 @@ def tail_ledger(
     *,
     poll: float = 0.2,
     idle_timeout: Optional[float] = 5.0,
-    sleep=time.sleep,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> Iterator[Dict[str, Any]]:
     """Yield a ledger's records, then follow appends until close.
 

@@ -71,6 +71,12 @@ svg text{font:10px sans-serif;fill:#334}
 .legend span{display:inline-block;margin-right:14px;font-size:12px}
 .legend i{display:inline-block;width:10px;height:10px;margin-right:4px;
           border-radius:2px}
+.worse{color:#b3261e;font-weight:600}
+.better{color:#1a7a3a;font-weight:600}
+.rootcause{background:#fdecea;border:1px solid #d7191c;border-radius:4px;
+           padding:10px 14px;margin:12px 0;font-size:13px}
+.sidebyside{display:flex;gap:18px;flex-wrap:wrap}
+.sidebyside>div{min-width:420px;flex:1}
 """
 
 
@@ -627,6 +633,196 @@ def write_report_html(
 ) -> int:
     """Write the report; returns the byte count written."""
     text = render_report(source, title=title, histories=histories)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return len(text.encode())
+
+
+# -------------------------------------------------------------- diff report
+
+
+def _delta_cell(delta: float, fmt: str = "{:+.3f}",
+                worse_positive: bool = True) -> str:
+    """A delta table cell colored by direction (red = worse)."""
+    if delta == 0.0:
+        return fmt.format(0.0)
+    worse = (delta > 0) == worse_positive
+    cls = "worse" if worse else "better"
+    return f'<span class="{cls}">{fmt.format(delta)}</span>'
+
+
+def render_diff_report(
+    diff: Any,
+    *,
+    explanation: Any = None,
+    bus_a: Union[Telemetry, EventBus, None] = None,
+    bus_b: Union[Telemetry, EventBus, None] = None,
+    histories: Sequence[Any] = (),
+    title: str = "run diff report",
+) -> str:
+    """The side-by-side regression/diff report as a single HTML file.
+
+    ``diff`` is a :class:`repro.telemetry.diff.RunDiff`; ``explanation``
+    (optional) a :class:`repro.telemetry.whatif.Explanation` whose
+    root-cause block leads the page.  When both runs' event buses are
+    available the two Gantt timelines render side by side with the
+    critical-path tasks highlighted (the delta lanes); ``histories`` adds
+    the trend charts so the regression is visible in its trajectory.
+    """
+    d = diff.makespan_delta
+    pct = 100.0 * d / diff.makespan_a if diff.makespan_a else 0.0
+    out: List[str] = [
+        "<!DOCTYPE html>",
+        f'<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="meta">A = {_esc(diff.a_label)} &nbsp;&middot;&nbsp; '
+        f"B = {_esc(diff.b_label)}<br>"
+        f"makespan {diff.makespan_a * 1e3:.3f} ms &rarr; "
+        f"{diff.makespan_b * 1e3:.3f} ms "
+        f"({_delta_cell(d * 1e3, '{:+.3f} ms')}, "
+        f"{_delta_cell(pct, '{:+.1f}%')})</p>",
+    ]
+
+    if explanation is not None:
+        top = explanation.top()
+        body = [f"<b>Root cause (exact what-if replay):</b><br>"]
+        for a in explanation.attributions[:8]:
+            exact = (" &mdash; recovers the baseline <b>exactly</b>"
+                     if a.exact_baseline else "")
+            body.append(
+                f"template <b>{_esc(a.template)}</b>: a "
+                f"{a.probe_factor:g}&times; speedup there recovers "
+                f"{a.share * 100:.1f}% of the delta "
+                f"({a.recovered * 1e3:+.4f} ms){exact}<br>")
+        if top is not None and top.share > 0.0:
+            body.append(f"&rArr; <b>{_esc(top.template)}</b> accounts for "
+                        f"{top.share * 100:.0f}% of the regression")
+        out.append(f'<div class="rootcause">{"".join(body)}</div>')
+
+    if bus_a is not None and bus_b is not None:
+        cp_a = critical_path(_bus_of(bus_a))
+        cp_b = critical_path(_bus_of(bus_b))
+        out.append(_section(
+            "Timelines (side by side, critical paths highlighted)",
+            '<div class="sidebyside">'
+            f"<div><p class='meta'>A: {_esc(diff.a_label)}</p>"
+            f"{gantt_svg(bus_a, cp_a.labels(), width=560)}</div>"
+            f"<div><p class='meta'>B: {_esc(diff.b_label)}</p>"
+            f"{gantt_svg(bus_b, cp_b.labels(), width=560)}</div>"
+            "</div>",
+        ))
+
+    ranked = diff.ranked_templates()
+    if ranked:
+        if diff.has_spans:
+            rows = [
+                (_esc(t.template), f"{t.count_a}/{t.count_b}",
+                 f"{t.total_a * 1e3:.3f}", f"{t.total_b * 1e3:.3f}",
+                 _delta_cell(t.delta * 1e3, "{:+.3f}"))
+                for t in ranked
+            ]
+            out.append(_section("Per-template span totals (ranked by movement)",
+                                _table(["template", "count A/B", "total A ms",
+                                        "total B ms", "delta ms"], rows)))
+        else:
+            rows = [
+                (_esc(t.template), t.count_a, t.count_b,
+                 _delta_cell(float(t.count_delta), "{:+.0f}"))
+                for t in ranked
+            ]
+            out.append(_section("Per-template task counts",
+                                _table(["template", "count A", "count B",
+                                        "delta"], rows)))
+
+    shares = diff.attribution()
+    if shares:
+        rows = [
+            (_esc(name),
+             f'<span class="bar" style="width:'
+             f'{min(abs(share), 1.0) * 120:.0f}px"></span> '
+             f"{share * 100:.1f}%")
+            for name, share in shares[:8]
+        ]
+        out.append(_section("Attribution (share of makespan delta)",
+                            _table(["template", "share"], rows)))
+
+    if diff.protocols:
+        rows = [
+            (_esc(chan), _fmt_bytes(va), _fmt_bytes(vb),
+             _delta_cell(dv, "{:+,.0f} B"))
+            for chan, va, vb, dv in diff.protocols
+        ]
+        out.append(_section("Protocol byte split",
+                            _table(["channel", "A", "B", "delta"], rows)))
+
+    if diff.ranks:
+        rows = [
+            (f"rank {r}", f"{ia * 1e3:.3f}", f"{ib * 1e3:.3f}",
+             _delta_cell(dv * 1e3, "{:+.3f}"))
+            for r, ia, ib, dv in diff.ranks
+        ]
+        out.append(_section("Per-rank idle time (ms)",
+                            _table(["", "A", "B", "delta"], rows)))
+
+    if diff.cp_entered or diff.cp_left or diff.cp_common:
+        body = [f'<p class="meta">{len(diff.cp_entered)} task(s) entered '
+                f"the critical path, {len(diff.cp_left)} left, "
+                f"{len(diff.cp_common)} in common</p>"]
+        rows = (
+            [(f"+ {_esc(lab)}", "", "", "") for lab in diff.cp_entered[:10]]
+            + [(f"- {_esc(lab)}", "", "", "") for lab in diff.cp_left[:10]]
+            + [(f"~ {_esc(lab)}", f"{va * 1e6:.2f}", f"{vb * 1e6:.2f}",
+                _delta_cell(dv * 1e6, "{:+.2f}"))
+               for lab, va, vb, dv in sorted(
+                   diff.cp_common, key=lambda r: -abs(r[3]))[:10]
+               if dv != 0.0]
+        )
+        if rows:
+            body.append(_table(["task", "A us", "B us", "delta us"], rows))
+        out.append(_section("Critical-path churn", "".join(body)))
+
+    changed = [(k, va, vb, dv) for k, va, vb, dv in diff.counters if dv != 0.0]
+    if changed:
+        rows = [
+            (_esc(k), f"{va:.6g}", f"{vb:.6g}", _delta_cell(dv, "{:+.6g}"))
+            for k, va, vb, dv in changed[:40]
+        ]
+        out.append(_section("Counter deltas",
+                            _table(["counter", "A", "B", "delta"], rows)))
+
+    trends = []
+    for hist in histories:
+        svg = trend_svg(hist)
+        if svg:
+            trends.append(
+                f'<span class="spark"><b>{_esc(hist.app)}</b> makespan '
+                f"trend ({len(hist.records)} runs)<br>{svg}</span>"
+            )
+    if trends:
+        out.append(_section("Trend context (filled = baseline, dashes = "
+                            "new commit)", "".join(trends)))
+
+    out.append('<p class="meta">generated by repro.telemetry diff &mdash; '
+               "fully self-contained, no external resources</p></body></html>")
+    return "\n".join(out)
+
+
+def write_diff_report_html(
+    path: str,
+    diff: Any,
+    *,
+    explanation: Any = None,
+    bus_a: Union[Telemetry, EventBus, None] = None,
+    bus_b: Union[Telemetry, EventBus, None] = None,
+    histories: Sequence[Any] = (),
+    title: str = "run diff report",
+) -> int:
+    """Write the diff/root-cause report; returns the byte count written."""
+    text = render_diff_report(
+        diff, explanation=explanation, bus_a=bus_a, bus_b=bus_b,
+        histories=histories, title=title,
+    )
     with open(path, "w") as fh:
         fh.write(text)
     return len(text.encode())

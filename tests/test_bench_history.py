@@ -147,6 +147,49 @@ def test_classify_wide_baseline_spread_absorbs_shift():
     assert classify(noisy, [0.013], 0.10, "lower")[0] == "unchanged"
 
 
+def test_classify_window_of_one_is_threshold_only_and_warns():
+    # n=1: MAD is degenerately 0.0.  The margin must be the pure
+    # threshold term and the verdict must say so.
+    status, m_b, spread, m_c, note = classify([0.010], [0.013], 0.10, "lower")
+    assert status == "regressed"
+    assert spread == 0.0
+    assert "small baseline window (n=1" in note
+    assert "threshold-only" in note
+    # Inside the threshold band: unchanged, same warning.
+    status, _, _, _, note = classify([0.010], [0.0105], 0.10, "lower")
+    assert status == "unchanged"
+    assert "small baseline window" in note
+
+
+def test_classify_window_of_two_drops_the_spread_term():
+    # n=2: MAD is half the range -- not a robust scale.  A wide two-sample
+    # spread must NOT absorb a > threshold shift the way a real MAD would.
+    base = [0.008, 0.012]   # median 0.010, naive MAD would be 0.002
+    status, _, spread, _, note = classify(base, [0.013], 0.10, "lower")
+    assert status == "regressed"   # 3*1.4826*0.002 would have absorbed it
+    assert spread == 0.0
+    assert "small baseline window (n=2" in note
+
+
+def test_classify_window_of_three_uses_mad_and_does_not_warn():
+    base = [0.010, 0.014, 0.006]
+    status, _, spread, _, note = classify(base, [0.013], 0.10, "lower")
+    assert status == "unchanged"   # the MAD margin absorbs the shift
+    assert spread > 0.0
+    assert note == ""
+
+
+def test_small_window_note_surfaces_in_verdict_row():
+    h = BenchHistory("potrf")
+    h.append(_rec(0.010, baseline=True, seed=0))   # one-sample baseline
+    h.append(_rec(0.013, seed=9))
+    rep = check_history(h)
+    rows = [v for v in rep.verdicts if v.metric == "makespan"]
+    assert rows and "small baseline window" in rows[0].note
+    assert "small baseline window" in rows[0].row()
+    assert "small baseline window" in rep.format()
+
+
 def test_check_history_flags_injected_regression():
     h = BenchHistory("potrf")
     for seed in (0, 1, 2):
@@ -253,7 +296,7 @@ def test_cli_requires_experiment_or_watchdog_flag(capsys):
 # -------------------------------------------------------------- schema v3
 
 
-def test_v2_payload_migrates_to_v3(tmp_path):
+def test_v2_payload_migrates_to_current(tmp_path):
     v2 = {
         "schema": SCHEMA,
         "version": 2,
@@ -274,8 +317,35 @@ def test_v2_payload_migrates_to_v3(tmp_path):
     # Pre-v3 runs were all sequential and did not time the host.
     assert rec.host_seconds == 0.0
     assert rec.engine == "seq"
+    # Pre-v4 runs carried no cost perturbations.
+    assert rec.cost_overrides == {}
     h.save(p)
-    assert json.loads(p.read_text())["version"] == SCHEMA_VERSION == 3
+    assert json.loads(p.read_text())["version"] == SCHEMA_VERSION == 4
+
+
+def test_v3_payload_migrates_to_v4(tmp_path):
+    v3 = {
+        "schema": SCHEMA,
+        "version": 3,
+        "app": "potrf",
+        "records": [{
+            "app": "potrf", "config": {"n": 1024}, "seed": 0,
+            "makespan": 0.01, "gflops": 99.0, "tasks_total": 160,
+            "tasks_by_template": {"POTRF": 8},
+            "bytes_by_protocol": {"eager": 64},
+            "critical_path_fraction": 0.5, "idle_fraction": 0.2,
+            "counters": {}, "baseline": True,
+            "engine": "sharded", "host_seconds": 1.25,
+        }],
+    }
+    p = tmp_path / "BENCH_potrf.json"
+    p.write_text(json.dumps(v3))
+    h = BenchHistory.load(p)
+    rec = h.records[0]
+    assert rec.engine == "sharded" and rec.host_seconds == 1.25
+    assert rec.cost_overrides == {}
+    h.save(p)
+    assert json.loads(p.read_text())["version"] == SCHEMA_VERSION == 4
 
 
 def test_engine_and_host_seconds_excluded_from_config_key():

@@ -132,8 +132,11 @@ def test_compare_counters(script, tmp_path):
     assert "tasks{" in text
     code, text = run_cli("compare", str(a), str(b), "--only-changed")
     assert code == 0
-    # Identical runs: nothing but the header survives --only-changed.
-    assert len(text.strip().splitlines()) == 1
+    # Identical runs: nothing but the deprecation note (compare is now a
+    # thin alias over `telemetry diff`) and the header survives.
+    lines = text.strip().splitlines()
+    assert "deprecated" in lines[0]
+    assert len(lines) == 2
 
 
 def test_no_events_mode_records_metrics_only(script, tmp_path):

@@ -325,3 +325,88 @@ def test_cli_validate_json_on_trace(tmp_path):
     result = json.loads(text)
     assert result["kind"] == "trace"
     assert result["schema_version"] == TRACE_SCHEMA_VERSION
+
+
+# ---------------------------------------------- resume-boundary takeover
+
+
+def _torn_then_resumed(tmp_path, torn_line):
+    """A run killed mid-write, taken over by an append-mode resumed run."""
+    path = str(tmp_path / "resumed.ledger.jsonl")
+    led = LedgerWriter(path, run_id="run-a", meta={"app": "unit"})
+    led.phase("execute", sim=1.0)
+    led.progress(1.0, tasks_done=3, tasks_total=8)
+    led._fh.close()  # simulate the kill: no ledger_close
+    with open(path, "a") as fh:
+        fh.write(torn_line)  # the record the kill tore (no newline)
+
+    resumed = LedgerWriter(path, run_id="run-b", append=True)
+    resumed.resume(point="ckpt-3", predecessor="run-a", checkpoints=3)
+    resumed.checkpoint(2.0, events=100, verified=True)
+    resumed.progress(2.5, tasks_done=8, tasks_total=8)
+    resumed.close(3.0)
+    return path
+
+
+def test_append_resume_heals_torn_tail(tmp_path):
+    path = _torn_then_resumed(
+        tmp_path, '{"type": "heartbeat", "run": "run-a", "se')
+    records = read_ledger(path)  # torn record skipped, not fatal
+    assert [r["type"] for r in records] == [
+        "ledger_open", "phase", "progress",           # predecessor
+        "resume", "checkpoint", "progress", "ledger_close",  # takeover
+    ]
+    assert [r["run"] for r in records] == ["run-a"] * 3 + ["run-b"] * 4
+    # seq restarts at the resume boundary, monotone on either side.
+    assert [r["seq"] for r in records] == [0, 1, 2, 0, 1, 2, 3]
+
+
+def test_validate_accepts_resume_takeover(tmp_path):
+    path = _torn_then_resumed(
+        tmp_path, '{"type": "heartbeat", "run": "run-a", "se')
+    records = read_ledger(path)
+    assert validate_ledger(records) == []
+
+
+def test_append_resume_replays_to_resumed_state(tmp_path):
+    path = _torn_then_resumed(
+        tmp_path, '{"type": "heartbeat", "run": "run-a", "se')
+    snap = replay_path(path)
+    assert snap.complete is True
+    assert snap.resumed_from == "ckpt-3"
+    assert snap.checkpoints == 1
+    assert snap.tasks_done == 8 and snap.tasks_total == 8
+
+
+def test_append_resume_terminates_newline_less_torn_tail(tmp_path):
+    # The predecessor died mid-write with no trailing newline; the
+    # append-mode writer must terminate that line before its own records.
+    path = _torn_then_resumed(tmp_path, '{"type": "phase", "ru')
+    with open(path) as fh:
+        lines = fh.read().splitlines()
+    assert lines[3] == '{"type": "phase", "ru'
+    assert json.loads(lines[4])["type"] == "resume"
+
+
+def test_torn_line_followed_by_non_resume_still_raises(tmp_path):
+    path = str(tmp_path / "corrupt.ledger.jsonl")
+    led = LedgerWriter(path, run_id="run-a")
+    led.phase("execute", sim=1.0)
+    led._fh.close()
+    with open(path, "a") as fh:
+        fh.write('{"type": "heartbeat", "run": "run-a", "se\n')
+        fh.write(json.dumps({"type": "heartbeat", "run": "run-a",
+                             "seq": 9, "events": 5}) + "\n")
+    with pytest.raises(LedgerError, match="unparseable mid-file"):
+        read_ledger(path)
+
+
+def test_validate_still_flags_seq_restart_without_resume():
+    records = [
+        {"type": "ledger_open", "schema": LEDGER_SCHEMA,
+         "version": LEDGER_VERSION, "run": "r", "seq": 0},
+        {"type": "heartbeat", "run": "r", "seq": 1, "events": 1},
+        {"type": "heartbeat", "run": "r", "seq": 0, "events": 2},
+    ]
+    problems = validate_ledger(records)
+    assert any("not monotonically increasing" in p for p in problems)
