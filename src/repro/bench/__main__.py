@@ -128,11 +128,13 @@ def run_engine_bench(args: argparse.Namespace) -> int:
     """``engine-bench``: host-time comparison of the event engines."""
     from repro.bench.parallel import engine_benchmark
 
+    cell_kwargs = {} if args.nodes is None else {"nodes": args.nodes}
     results = engine_benchmark(
         engines=tuple(args.engines.split(",")),
         app=args.apps[0],
         seeds=args.seeds,
         parallel=args.parallel,
+        **cell_kwargs,
     )
     print(f"engine benchmark: app={args.apps[0]} seeds={args.seeds}")
     for kind, row in results.items():
@@ -388,7 +390,8 @@ def main(argv=None) -> int:
                     "end-to-end test hook for --explain)")
     wd.add_argument("--engine", default="seq", choices=list(ENGINE_KINDS),
                     help="event engine inside each simulation (default seq); "
-                    "'mp' also implies run-level process parallelism")
+                    "'mp' runs each cell on the shared-nothing multiprocess "
+                    "engine and also implies cell-level process parallelism")
     wd.add_argument("--parallel", type=int, default=0, metavar="N",
                     help="fan the (app, seed) matrix cells out over N worker "
                     "processes (0 = inline; implied by --engine mp)")
@@ -420,6 +423,9 @@ def main(argv=None) -> int:
                     "(default seq,sharded)")
     wd.add_argument("--output", default=None, metavar="OUT.json",
                     help="engine-bench: also write the comparison as JSON")
+    wd.add_argument("--nodes", type=int, default=None, metavar="N",
+                    help="engine-bench: simulated rank count per cell "
+                    "(default: each app's own default, typically 4)")
     args = parser.parse_args(argv)
     if args.engine == "mp" and args.parallel == 0:
         args.parallel = default_processes()

@@ -39,8 +39,22 @@ class ActiveMessageRegistry:
         """Send an AM that invokes the ``tag`` handler registered at ``dst``."""
         if tag not in self._handlers[dst]:
             raise AmHandlerError(f"rank {dst} has no handler for tag {tag!r}")
+        self.comm.send_am(src, dst, nbytes, _Dispatch(self, dst, tag, args),
+                          tag=tag)
 
-        def _dispatch() -> None:
-            self._handlers[dst][tag](*args)
 
-        self.comm.send_am(src, dst, nbytes, _dispatch, tag=tag)
+class _Dispatch:
+    """Heap record for a registry-dispatched AM arrival (handler looked
+    up at delivery time, so late ``register`` calls still win)."""
+
+    __slots__ = ("registry", "dst", "tag", "args")
+
+    def __init__(self, registry: ActiveMessageRegistry, dst: int, tag: str,
+                 args: tuple) -> None:
+        self.registry = registry
+        self.dst = dst
+        self.tag = tag
+        self.args = args
+
+    def __call__(self) -> None:
+        self.registry._handlers[self.dst][self.tag](*self.args)

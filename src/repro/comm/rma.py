@@ -9,7 +9,6 @@ use-after-release bugs in the data life-cycle logic).
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, Dict, Optional
 
 import numpy as np
@@ -27,12 +26,17 @@ class RmaWindow:
     def __init__(self, comm: CommEngine) -> None:
         self.comm = comm
         self._regions: Dict[int, tuple[int, Optional[np.ndarray], int]] = {}
-        self._ids = itertools.count(1)
+        # Explicit handle counter instead of itertools.count: checkpoints
+        # must capture/restore it, and the mp engine strides it so worker
+        # processes mint disjoint handles (worker k: next=k+1, stride=P).
+        self._next = 1
+        self._stride = 1
 
     def register(self, rank: int, payload: Optional[np.ndarray], nbytes: int) -> int:
         """Expose ``payload`` (may be None for synthetic data) owned by
         ``rank``; returns a handle to embed in metadata messages."""
-        handle = next(self._ids)
+        handle = self._next
+        self._next = handle + self._stride
         self._regions[handle] = (rank, payload, nbytes)
         return handle
 
@@ -61,13 +65,32 @@ class RmaWindow:
         ``on_complete(payload)`` runs at the origin when the transfer lands.
         The payload is copied (the bytes now live at the origin).
         """
+        ctx = self.comm._defer
+        if ctx is not None:
+            # The handle may belong to another worker's region table, so
+            # the lookup itself must wait for the coordinator (which asks
+            # the owning worker to serve the payload at replay time).
+            ctx.defer_rma(origin, handle, on_complete)
+            return
         try:
             target, payload, nbytes = self._regions[handle]
         except KeyError:
             raise RmaError(f"get on unknown/released RMA handle {handle}") from None
+        self.comm.rma_get(origin, target, nbytes, _Landed(payload, on_complete))
 
-        def _landed() -> None:
-            data = None if payload is None else np.array(payload, copy=True)
-            on_complete(data)
 
-        self.comm.rma_get(origin, target, nbytes, _landed)
+class _Landed:
+    """Heap record for an RMA payload landing at the origin (picklable,
+    unlike the closure it replaced -- see :mod:`repro.runtime.registry`)."""
+
+    __slots__ = ("payload", "on_complete")
+
+    def __init__(self, payload: Optional[np.ndarray],
+                 on_complete: Callable[[Optional[np.ndarray]], Any]) -> None:
+        self.payload = payload
+        self.on_complete = on_complete
+
+    def __call__(self) -> None:
+        payload = self.payload
+        data = None if payload is None else np.array(payload, copy=True)
+        self.on_complete(data)

@@ -204,6 +204,11 @@ class Executable:
             # (pending instances, per-template counts) at every cadence
             # point; see repro.durability.checkpoint.
             backend.checkpointer.bind_executable(self)
+        register = getattr(backend, "register_executable", None)
+        if register is not None:
+            # Runtime registry walks (event pickling for the mp engine
+            # and physical checkpoints) key executables by this order.
+            register(self)
         _notify_observers("executable", self)
 
     @classmethod
@@ -495,19 +500,9 @@ class Executable:
             self.sanitizer.on_spawn(tt, key, args)
         flops, bytes_moved = tt.cost(key, args)
         self.task_counts[tt.name] += 1
-        ex = self
-
-        def _run_body() -> None:
-            outs = TaskOutputs(ex, tt, rank, key)
-            _push_outputs(outs)
-            try:
-                tt.fn(key, *args, outs)
-            finally:
-                _pop_outputs()
-
         self.backend.submit(
             rank,
-            _run_body,
+            _RunBody(self, tt, rank, key, tuple(args)),
             flops=flops,
             bytes_moved=bytes_moved,
             priority=tt.priority(key),
@@ -661,3 +656,28 @@ class _Finalize:
 
     def __call__(self) -> None:
         self.ex.finalize_argstream(self.tt, self.idx, self.key)
+
+
+class _RunBody:
+    """The body of one spawned task instance (template fn + bound inputs).
+
+    A record rather than a closure so ready tasks sitting in worker queues
+    or the event heap pickle: the executable and template task resolve by
+    reference through the runtime registry, only ``key`` and the input
+    values serialize by value.
+    """
+
+    __slots__ = ("ex", "tt", "rank", "key", "args")
+
+    def __init__(self, ex: Executable, tt: TemplateTask, rank: int,
+                 key: Any, args: Tuple[Any, ...]) -> None:
+        self.ex, self.tt, self.rank, self.key = ex, tt, rank, key
+        self.args = args
+
+    def __call__(self) -> None:
+        outs = TaskOutputs(self.ex, self.tt, self.rank, self.key)
+        _push_outputs(outs)
+        try:
+            self.tt.fn(self.key, *self.args, outs)
+        finally:
+            _pop_outputs()

@@ -4,7 +4,8 @@ Subcommands::
 
     inspect DIR [RUN]          list durable runs, or one run's chain
     validate TARGET            validate a checkpoint file, run dir, or root
-    resume DIR RUN             rebuild + verify-replay a killed run
+    resume DIR RUN             rebuild + resume a killed run (physical
+                               restore, or verify-replay with --verify)
     run                        run one benchmark cell with checkpoints on
     chaos                      like run, but with a fault plan armed
     parity                     kill-and-resume parity check (the CI smoke)
@@ -178,7 +179,8 @@ def cmd_resume(args: argparse.Namespace) -> int:
     from repro.durability.runner import resume_run
 
     try:
-        result = resume_run(args.dir, args.run, ledger_dir=args.ledger)
+        result = resume_run(args.dir, args.run, ledger_dir=args.ledger,
+                            verify=args.verify)
     except CheckpointError as e:
         print(f"resume failed: {e}", file=sys.stderr)
         return 1
@@ -188,9 +190,11 @@ def cmd_resume(args: argparse.Namespace) -> int:
     for problem in result.problems:
         print(f"warning: {problem}", file=sys.stderr)
     rec = result.record
+    how = (f"restored physically, skipped {result.restored_events} "
+           f"event(s) of replay" if result.restored
+           else f"verified {result.verified} stored checkpoint(s)")
     print(f"resumed {result.run_id} from {result.resume_point or 'start'}: "
-          f"verified {result.verified} stored checkpoint(s), wrote "
-          f"{result.written} new")
+          f"{how}, wrote {result.written} new")
     print(f"  makespan={rec.makespan:.6g}s tasks={rec.tasks_total}")
     return 0
 
@@ -357,12 +361,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--json", action="store_true")
     p.set_defaults(fn=cmd_validate)
 
-    p = sub.add_parser("resume", help="rebuild + verify-replay a killed run")
+    p = sub.add_parser("resume", help="rebuild + resume a killed run "
+                       "(physical restore when the chain carries heap "
+                       "bytes; verify-replay otherwise)")
     p.add_argument("dir", help="checkpoint directory")
     p.add_argument("run", help="run id, e.g. mra-seed0-sharded")
     p.add_argument("--ledger", default=None, metavar="DIR",
                    help="also write a run ledger (header stamped with the "
                    "resume point)")
+    p.add_argument("--verify", action="store_true",
+                   help="force full verify-replay even when a physical "
+                   "(heap-byte) checkpoint is available")
     p.add_argument("--json", action="store_true")
     p.set_defaults(fn=cmd_resume)
 

@@ -1,0 +1,356 @@
+"""Shared-memory tile arena for the multiprocess engine.
+
+The mp engine (:mod:`repro.sim.mpshard`) forks one process per rank-shard
+group.  Fork gives every worker a copy-on-write view of the build-phase
+object graph, but writes made inside a worker stay private to it -- so a
+result matrix filled in by simulated tasks would be invisible to the
+parent, and a splitmd payload served to another worker would have to be
+copied through a pipe.  The arena fixes both: while an arena is active,
+:class:`~repro.linalg.tile.MatrixTile` allocates its backing arrays as
+NumPy views onto ``multiprocessing.shared_memory`` segments.
+
+- Tiles allocated *before* the fork (matrix construction) are visible to
+  every process at the same virtual address contents-wise: a worker
+  writing its owned result tiles writes straight into memory the parent
+  can read after the run.
+- Tiles allocated *inside* a worker land in worker-created segments; the
+  serve path of the mp engine ships a tiny :class:`ShmRef` instead of the
+  array bytes, and the receiving process attaches a zero-copy view (the
+  semantic copy the serialization protocol charges for still happens at
+  the destination, exactly as on the sequential engine).
+
+Lifecycle: segment names share a per-run prefix
+(``repro-shm-<runid>-...``), so the parent can reap *everything* -- its
+own segments, worker segments, and segments leaked by a crashed worker --
+with one prefix sweep of ``/dev/shm`` (:meth:`ShmArena.release`,
+:func:`cleanup_run`).  POSIX keeps unlinked mappings valid, so live NumPy
+views (e.g. a result matrix the caller still holds) survive the unlink;
+only the names and the backing files' visibility go away.
+
+The CPython ``resource_tracker`` would unlink every segment again at
+interpreter exit and print spurious leak warnings for segments another
+process already reaped, so each segment is unregistered from it right
+after creation/attachment (the arena's prefix sweep is the single
+authority for reclamation).  An :mod:`atexit` hook backstops the sweep
+for arenas that were created but never released -- e.g. an engine
+constructed by a script that errors out before ``run()``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import weakref
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Segment-name prefix shared by every arena (sweepable in /dev/shm).
+SHM_PREFIX = "repro-shm"
+
+#: Allocations below this many bytes stay on the regular heap: a shm
+#: segment costs a file descriptor and a page, which tiny tiles (and the
+#: metadata arrays of synthetic runs) should not pay.
+MIN_SEGMENT_BYTES = 4096
+
+#: The process-global active arena (set by the mp engine; tile allocation
+#: consults it).  ``None`` means plain heap allocation everywhere.
+_ACTIVE: Optional["ShmArena"] = None
+
+#: Released arenas, kept reachable forever: their ``SharedMemory``
+#: mappings must outlive every numpy view handed out (see
+#: :meth:`ShmArena.release`).
+_RETIRED: List["ShmArena"] = []
+
+#: Arenas this process created and has not yet released.  Strong refs on
+#: purpose: segments are untracked from the resource tracker, so an
+#: arena garbage-collected before :meth:`ShmArena.release` would leave
+#: its names in ``/dev/shm`` with nobody left to sweep them.
+_LIVE: List["ShmArena"] = []
+
+
+def _reap_at_exit() -> None:
+    """Release every arena this process created but never released.
+
+    Covers the construct-but-never-run path: an engine built for
+    inspection, or a driver script that raises between engine
+    construction and ``run()`` (whose ``finally`` is the normal release
+    point).  Without this hook such segments outlive the interpreter.
+    Forked children are excluded twice over -- mp workers exit via
+    ``os._exit`` (atexit never fires) and the creator-pid guard stops
+    any other child from sweeping a run prefix its parent still owns.
+    """
+    pid = os.getpid()
+    for arena in list(_LIVE):
+        if arena._creator_pid == pid:
+            try:
+                arena.release()
+            except Exception:
+                pass
+
+
+atexit.register(_reap_at_exit)
+
+
+def active_arena() -> Optional["ShmArena"]:
+    """The arena new tile payloads currently allocate from (or ``None``)."""
+    return _ACTIVE
+
+
+def activate(arena: Optional["ShmArena"]) -> Optional["ShmArena"]:
+    """Install ``arena`` as the process-global allocator; returns the
+    previous one so callers can restore it."""
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = arena
+    return prev
+
+
+# --------------------------------------------------------- store journal
+#
+# Shared-memory segments make *pre-fork array contents* visible across
+# processes, but an application-level store like ``TiledMatrix.set_tile``
+# rebinds a dict slot -- a pointer write, private to the worker that made
+# it.  The journal bridges that gap: result containers register
+# themselves at construction (keyed by ``id``, which fork preserves), the
+# mp engine arms a journal inside each worker, stores append
+# ``(container_id, key, value)`` records, and the parent replays them via
+# ``mp_apply_store`` after the run so results are visible to the caller
+# exactly as under the in-process engines.
+
+#: The active journal list (worker-side during an mp run) or ``None``.
+_JOURNAL: Optional[List[Tuple[int, Any, Any]]] = None
+
+#: Registered store targets by ``id`` (weak: registration must not keep
+#: temporary matrices alive).
+_STORES: "weakref.WeakValueDictionary[int, Any]" = weakref.WeakValueDictionary()
+
+
+def register_store(obj: Any) -> None:
+    """Make ``obj`` a journal-replay target (it must offer
+    ``mp_apply_store(key, value)``)."""
+    _STORES[id(obj)] = obj
+
+
+def store_target(oid: int) -> Optional[Any]:
+    """The registered container with ``id(obj) == oid``, if still alive."""
+    return _STORES.get(oid)
+
+
+def set_journal(journal: Optional[List[Tuple[int, Any, Any]]]
+                ) -> Optional[List[Tuple[int, Any, Any]]]:
+    """Install (or clear, with ``None``) the active store journal;
+    returns the previous one."""
+    global _JOURNAL
+    prev = _JOURNAL
+    _JOURNAL = journal
+    return prev
+
+
+def record_store(obj: Any, key: Any, value: Any) -> None:
+    """Journal a store into ``obj`` (no-op unless a journal is armed --
+    one global load and a ``None`` check on the common path)."""
+    journal = _JOURNAL
+    if journal is not None:
+        journal.append((id(obj), key, value))
+
+
+def _untrack(name: str) -> None:
+    """Detach a segment from the resource tracker (see module docstring)."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister("/" + name, "shared_memory")
+    except Exception:
+        pass  # tracking is advisory; the prefix sweep still reclaims
+
+
+class ShmRef:
+    """A picklable zero-copy reference to an array inside a segment."""
+
+    __slots__ = ("name", "offset", "shape", "dtype")
+
+    def __init__(self, name: str, offset: int, shape: Tuple[int, ...],
+                 dtype: str) -> None:
+        self.name = name
+        self.offset = offset
+        self.shape = shape
+        self.dtype = dtype
+
+    def __getstate__(self):
+        return (self.name, self.offset, self.shape, self.dtype)
+
+    def __setstate__(self, state) -> None:
+        self.name, self.offset, self.shape, self.dtype = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShmRef({self.name}, offset={self.offset}, "
+                f"shape={self.shape}, {self.dtype})")
+
+
+class ShmArena:
+    """Per-run allocator of shared-memory-backed NumPy arrays.
+
+    One arena is created by the parent per mp run; forked workers inherit
+    it and keep allocating through their copy -- the per-process ``pid``
+    in the segment names keeps parent and worker segments from colliding
+    while preserving the common per-run prefix.
+    """
+
+    def __init__(self, run_id: str) -> None:
+        self.run_id = run_id
+        self._counter = 0
+        self._pid = os.getpid()
+        self._creator_pid = self._pid
+        _LIVE.append(self)
+        # Segments this process created: name -> (shm, buffer address, size)
+        self._own: Dict[str, Tuple[object, int, int]] = {}
+        # Foreign segments attached to resolve ShmRefs: name -> shm
+        self._attached: Dict[str, object] = {}
+        self.bytes_allocated = 0
+
+    # ------------------------------------------------------------ allocation
+
+    @property
+    def prefix(self) -> str:
+        return f"{SHM_PREFIX}-{self.run_id}"
+
+    def segments(self) -> List[str]:
+        """Names of the segments this process created (tests/diagnostics)."""
+        return list(self._own)
+
+    def alloc(self, shape: Tuple[int, ...],
+              dtype: np.dtype = np.float64) -> np.ndarray:
+        """A zero-filled array backed by a fresh shared-memory segment."""
+        from multiprocessing import shared_memory
+
+        if os.getpid() != self._pid:
+            # First allocation after a fork: this copy now belongs to the
+            # child.  Inherited ``_own`` records stay -- they let
+            # :meth:`ref_of` hand out zero-copy references to pre-fork
+            # segments -- and the pid in the name spaces the child's new
+            # segments away from the parent's.
+            self._pid = os.getpid()
+            self._counter = 0
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        name = f"{self.prefix}-p{self._pid}-{self._counter}"
+        self._counter += 1
+        shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1),
+                                         name=name)
+        _untrack(name)
+        self._own[name] = (shm, _buf_address(shm), max(nbytes, 1))
+        self.bytes_allocated += nbytes
+        arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        arr.fill(0)
+        return arr
+
+    # ------------------------------------------------------- ref round-trip
+
+    def ref_of(self, arr: np.ndarray) -> Optional[ShmRef]:
+        """A :class:`ShmRef` for ``arr`` if it lives inside a segment this
+        process created; ``None`` otherwise (caller falls back to bytes)."""
+        if not isinstance(arr, np.ndarray) or not arr.flags["C_CONTIGUOUS"]:
+            return None
+        addr = arr.__array_interface__["data"][0]
+        end = addr + arr.nbytes
+        for name, (_shm, base, size) in self._own.items():
+            if base <= addr and end <= base + size:
+                return ShmRef(name, addr - base, tuple(arr.shape),
+                              arr.dtype.str)
+        return None
+
+    def resolve(self, ref: ShmRef) -> np.ndarray:
+        """Attach (once) the segment behind ``ref`` and return the view."""
+        from multiprocessing import shared_memory
+
+        rec = self._own.get(ref.name)
+        if rec is not None:
+            shm = rec[0]
+        else:
+            shm = self._attached.get(ref.name)
+            if shm is None:
+                shm = shared_memory.SharedMemory(name=ref.name)
+                _untrack(ref.name)
+                self._attached[ref.name] = shm
+        flat = np.ndarray((int(np.prod(ref.shape)),),
+                          dtype=np.dtype(ref.dtype),
+                          buffer=shm.buf, offset=ref.offset)
+        return flat.reshape(ref.shape)
+
+    # -------------------------------------------------------------- cleanup
+
+    def release(self) -> int:
+        """Unlink every segment of this run (prefix sweep; parent only).
+
+        Live views stay valid (POSIX unlink semantics); only the names are
+        reclaimed.  Returns the number of segments unlinked.  Safe to call
+        repeatedly and after worker crashes -- the sweep covers segments
+        whose creating process never got to report them.
+
+        The arena parks itself in a process-lifetime graveyard: numpy
+        views do not pin the underlying ``mmap`` (``SharedMemory.close``
+        on garbage collection would unmap the pages under any tile still
+        referencing them), so the ``SharedMemory`` objects must stay
+        reachable for as long as views may exist -- which is unknowable
+        here, hence process lifetime.  The cost is bounded by one run's
+        mapped pages; the names are gone from ``/dev/shm`` regardless.
+        """
+        if self not in _RETIRED:
+            _RETIRED.append(self)
+        try:
+            _LIVE.remove(self)
+        except ValueError:
+            pass
+        return cleanup_run(self.run_id)
+
+    def close_attachments(self) -> None:
+        """Drop foreign-segment attachments (worker shutdown)."""
+        for shm in self._attached.values():
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self._attached = {}
+
+
+def _buf_address(shm: object) -> int:
+    """Base address of a segment's mapped buffer in this process."""
+    return np.ndarray((shm.size,), dtype=np.uint8,  # type: ignore[attr-defined]
+                      buffer=shm.buf).__array_interface__["data"][0]
+
+
+def list_run_segments(run_id: str) -> List[str]:
+    """Names of the run's live segments visible in ``/dev/shm``."""
+    prefix = f"{SHM_PREFIX}-{run_id}"
+    try:
+        return sorted(n for n in os.listdir("/dev/shm")
+                      if n.startswith(prefix))
+    except OSError:
+        return []
+
+
+def cleanup_run(run_id: str) -> int:
+    """Unlink every ``/dev/shm`` segment carrying the run's prefix."""
+    reaped = 0
+    for name in list_run_segments(run_id):
+        try:
+            os.unlink(os.path.join("/dev/shm", name))
+            reaped += 1
+        except OSError:
+            pass
+    return reaped
+
+
+def alloc_array(shape: Tuple[int, ...],
+                dtype: np.dtype = np.float64) -> np.ndarray:
+    """Allocate through the active arena, or plain ``np.zeros`` without
+    one (or for allocations too small to earn a segment)."""
+    arena = _ACTIVE
+    nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+    if arena is None or nbytes < MIN_SEGMENT_BYTES:
+        return np.zeros(shape, dtype=dtype)
+    try:
+        return arena.alloc(shape, dtype)
+    except OSError:
+        # Out of fds / shm space: degrade to the heap, never fail the run.
+        return np.zeros(shape, dtype=dtype)

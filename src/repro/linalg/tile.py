@@ -42,7 +42,9 @@ class MatrixTile:
 
     @classmethod
     def zeros(cls, rows: int, cols: int) -> "MatrixTile":
-        return cls(rows, cols, np.zeros((rows, cols)))
+        from . import shm
+
+        return cls(rows, cols, shm.alloc_array((rows, cols)))
 
     @classmethod
     def synthetic(cls, rows: int, cols: int) -> "MatrixTile":
@@ -108,7 +110,14 @@ class MatrixTile:
         tile = cls(rows, cols, None)
         if has_data:
             # allocated-but-uninitialized is a valid state for splitmd types
-            tile.data = np.empty((rows, cols))
+            # (the shm arena zero-fills; same observable contract once
+            # splitmd_fill runs)
+            from . import shm
+
+            if shm.active_arena() is not None:
+                tile.data = shm.alloc_array((rows, cols))
+            else:
+                tile.data = np.empty((rows, cols))
         return tile
 
     def splitmd_fill(self, payload: np.ndarray) -> None:

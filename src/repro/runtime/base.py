@@ -99,6 +99,188 @@ class RunStats:
         return d
 
 
+class _LocalRun:
+    """Heap record for a rank-local delivery posted via ``post_local``.
+
+    Module-level record instead of a closure so heap entries pickle (the
+    mp engine ships them between shard processes; physical checkpoints
+    serialize them to disk).  The termination detector resolves through
+    the runtime registry, never by value.
+    """
+
+    __slots__ = ("termination", "fn", "args", "rank")
+
+    def __init__(self, termination: TerminationDetector,
+                 fn: Callable[..., None], args: Tuple[Any, ...],
+                 rank: Optional[int]) -> None:
+        self.termination = termination
+        self.fn = fn
+        self.args = args
+        self.rank = rank
+
+    def __call__(self) -> None:
+        try:
+            self.fn(*self.args)
+        finally:
+            self.termination.task_retired(self.rank)
+
+
+class _CtrlDeliver:
+    """Heap record for the arrival of a control-only active message."""
+
+    __slots__ = ("termination", "dst", "on_deliver")
+
+    def __init__(self, termination: TerminationDetector, dst: int,
+                 on_deliver: Callable[[], None]) -> None:
+        self.termination = termination
+        self.dst = dst
+        self.on_deliver = on_deliver
+
+    def __call__(self) -> None:
+        self.termination.message_delivered(self.dst)
+        self.on_deliver()
+
+
+class _OnMeta:
+    """Arrival of a splitmd metadata message: allocate the destination
+    object and RMA-get the payload.  Carries only scalars + the metadata
+    bytes -- the payload array stays registered in the source rank's RMA
+    window until the release control message fires."""
+
+    __slots__ = ("backend", "src", "dst", "meta_bytes", "eager_bytes",
+                 "rma_bytes", "handle", "send_start", "flow", "meta_name",
+                 "rma_name", "on_deliver")
+
+    def __init__(self, backend: "Backend", src: int, dst: int,
+                 meta_bytes: bytes, eager_bytes: int, rma_bytes: int,
+                 handle: int, send_start: float, flow: Optional[int],
+                 meta_name: str, rma_name: str,
+                 on_deliver: Callable[[Any], None]) -> None:
+        self.backend = backend
+        self.src = src
+        self.dst = dst
+        self.meta_bytes = meta_bytes
+        self.eager_bytes = eager_bytes
+        self.rma_bytes = rma_bytes
+        self.handle = handle
+        self.send_start = send_start
+        self.flow = flow
+        self.meta_name = meta_name
+        self.rma_name = rma_name
+        self.on_deliver = on_deliver
+
+    def __call__(self) -> None:
+        backend = self.backend
+        meta_end = backend.engine.now
+        if self.flow is not None:
+            backend.telemetry.bus.complete(
+                self.meta_name, self.dst, TID_PROTO, self.send_start,
+                meta_end, cat="proto", flow=self.flow,
+                args={"src": self.src, "nbytes": self.eager_bytes},
+            )
+        cls, meta = unpack_metadata(self.meta_bytes)
+        obj = cls.splitmd_allocate(meta)
+        backend.rma.get(
+            self.dst, self.handle,
+            _OnPayload(backend, self.src, self.dst, obj, meta_end,
+                       self.rma_bytes, self.handle, self.flow,
+                       self.rma_name, self.on_deliver),
+        )
+
+
+class _OnPayload:
+    """Landing of a splitmd RMA payload: fill the allocated object,
+    release the source region, deliver."""
+
+    __slots__ = ("backend", "src", "dst", "obj", "meta_end", "rma_bytes",
+                 "handle", "flow", "rma_name", "on_deliver")
+
+    def __init__(self, backend: "Backend", src: int, dst: int, obj: Any,
+                 meta_end: float, rma_bytes: int, handle: int,
+                 flow: Optional[int], rma_name: str,
+                 on_deliver: Callable[[Any], None]) -> None:
+        self.backend = backend
+        self.src = src
+        self.dst = dst
+        self.obj = obj
+        self.meta_end = meta_end
+        self.rma_bytes = rma_bytes
+        self.handle = handle
+        self.flow = flow
+        self.rma_name = rma_name
+        self.on_deliver = on_deliver
+
+    def __call__(self, data: Any) -> None:
+        backend = self.backend
+        obj = self.obj
+        if data is not None:
+            obj.splitmd_fill(data)
+        if self.flow is not None:
+            backend.telemetry.bus.complete(
+                self.rma_name, self.dst, TID_PROTO, self.meta_end,
+                backend.engine.now, cat="proto", flow=self.flow,
+                args={"src": self.src, "nbytes": self.rma_bytes},
+            )
+        # Notify the sender to release the registered region.
+        backend.comm.send_am(
+            self.dst, self.src, CONTROL_BYTES, backend._release_handle,
+            self.handle, tag="rel"
+        )
+        backend.termination.message_delivered(self.dst)
+        self.on_deliver(obj)
+
+
+class _OnArrival:
+    """Arrival of an eager message at the destination AM server."""
+
+    __slots__ = ("backend", "dst", "proto", "msg", "recv_copy",
+                 "server_time", "on_deliver")
+
+    def __init__(self, backend: "Backend", dst: int, proto: Any, msg: Any,
+                 recv_copy: int, server_time: float,
+                 on_deliver: Callable[[Any], None]) -> None:
+        self.backend = backend
+        self.dst = dst
+        self.proto = proto
+        self.msg = msg
+        self.recv_copy = recv_copy
+        self.server_time = server_time
+        self.on_deliver = on_deliver
+
+    def __call__(self) -> None:
+        backend = self.backend
+        recv_copy = self.recv_copy
+        if recv_copy:
+            backend.stats.copies += 1
+            backend.stats.copy_bytes += recv_copy
+        deliver = _EagerDeliver(backend, self.dst, self.proto, self.msg,
+                                self.on_deliver)
+        if self.server_time > 0.0:
+            deliver()  # copy time already occupied the AM server
+        else:
+            backend.engine.schedule(
+                backend.cluster.node.copy_time(recv_copy) if recv_copy else 0.0,
+                deliver, rank=self.dst)
+
+
+class _EagerDeliver:
+    """Post-copy delivery of an eager message's reconstructed value."""
+
+    __slots__ = ("backend", "dst", "proto", "msg", "on_deliver")
+
+    def __init__(self, backend: "Backend", dst: int, proto: Any, msg: Any,
+                 on_deliver: Callable[[Any], None]) -> None:
+        self.backend = backend
+        self.dst = dst
+        self.proto = proto
+        self.msg = msg
+        self.on_deliver = on_deliver
+
+    def __call__(self) -> None:
+        self.backend.termination.message_delivered(self.dst)
+        self.on_deliver(self.proto.deserialize(self.msg))
+
+
 class _ReadyTask:
     """A task instance bound for a worker pool."""
 
@@ -307,6 +489,11 @@ class Backend:
 
     name = "base"
 
+    #: Whether this backend's heap entries survive process boundaries.
+    #: The MADNESS backend says False (World futures are address-space
+    #: local), which makes the mp engine fall back to in-process sharding.
+    mp_capable = True
+
     def __init__(
         self,
         cluster: Cluster,
@@ -348,8 +535,41 @@ class Backend:
         )
         self.rma = RmaWindow(self.comm)
         self.pools = [WorkerPool(self, r) for r in range(cluster.nranks)]
+        # Executables in registration order: the runtime registry walks
+        # this list to key graphs/template tasks for event pickling.
+        self.executables: list = []
+        # Engines that orchestrate the runtime itself (the mp engine
+        # forks per run and needs the backend for registry builds,
+        # preflight lint, and state merges) bind back here.
+        bind = getattr(self.engine, "bind_runtime", None)
+        if bind is not None:
+            bind(self)
         if telemetry is not None:
             self.attach_telemetry(telemetry)
+
+    def register_executable(self, ex: Any) -> None:
+        """Record ``ex`` for registry walks (called by Executable).
+
+        When the engine declares ``mp_preflight`` (the multiprocess
+        engine), the SHD009 preflight lint probes every already-queued
+        event payload right here, at graph-build time -- an unpicklable
+        payload fails with a lint report instead of a ``PicklingError``
+        halfway through a forked run.
+        """
+        self.executables.append(ex)
+        if getattr(self.engine, "mp_preflight", False):
+            from repro.analysis.shardsafe import mp_preflight
+
+            findings = [f for f in mp_preflight(self)
+                        if f.rule.severity == "error"]
+            if findings:
+                lines = "\n".join(f"  {f}" for f in findings)
+                raise RuntimeError(
+                    f"graph {ex.graph.name!r} cannot run on the "
+                    f"multiprocess engine; SHD009 preflight found "
+                    f"{len(findings)} unpicklable payload(s):\n{lines}\n"
+                    "(fix the captures or run with engine=sharded)"
+                )
 
     def attach_telemetry(self, telemetry: Telemetry) -> None:
         """Arm the telemetry hooks on every layer this backend owns.
@@ -469,14 +689,8 @@ class Backend:
         happens); the sequential engine ignores it.
         """
         self.termination.task_created(rank)
-
-        def _run() -> None:
-            try:
-                fn(*args)
-            finally:
-                self.termination.task_retired(rank)
-
-        self.engine.schedule(delay, _run, rank=rank)
+        self.engine.schedule(
+            delay, _LocalRun(self.termination, fn, args, rank), rank=rank)
 
     def post_local_batch(
         self,
@@ -498,14 +712,7 @@ class Backend:
         wrapped = []
         for fn, args in calls:
             term.task_created(rank)
-
-            def _run(fn=fn, args=args) -> None:
-                try:
-                    fn(*args)
-                finally:
-                    term.task_retired(rank)
-
-            wrapped.append((_run, ()))
+            wrapped.append((_LocalRun(term, fn, args, rank), ()))
         self.engine.schedule_batch(delay, wrapped, rank=rank)
 
     # -------------------------------------------------------------- messages
@@ -541,11 +748,9 @@ class Backend:
                                 src=src, dst=dst).inc()
             tel.metrics.counter("message_bytes", protocol="control").inc(nbytes)
 
-        def _handler() -> None:
-            self.termination.message_delivered(dst)
-            on_deliver()
-
-        self.comm.send_am(src, dst, nbytes, _handler, tag="ctrl")
+        self.comm.send_am(src, dst, nbytes,
+                          _CtrlDeliver(self.termination, dst, on_deliver),
+                          tag="ctrl")
 
     def send_value(
         self,
@@ -597,62 +802,21 @@ class Backend:
             self.stats.rma_bytes += msg.rma_bytes
             meta_name, rma_name = splitmd_phase_names(tag)
             flow = tel.bus.new_flow() if tel is not None and tel.bus.enabled else None
-
-            def _on_meta() -> None:
-                meta_end = self.engine.now
-                if flow is not None:
-                    tel.bus.complete(
-                        meta_name, dst, TID_PROTO, send_start, meta_end,
-                        cat="proto", flow=flow,
-                        args={"src": src, "nbytes": msg.eager_bytes},
-                    )
-                cls, meta = unpack_metadata(meta_bytes)
-                obj = cls.splitmd_allocate(meta)
-
-                def _on_payload(data: Any) -> None:
-                    if data is not None:
-                        obj.splitmd_fill(data)
-                    if flow is not None:
-                        tel.bus.complete(
-                            rma_name, dst, TID_PROTO, meta_end,
-                            self.engine.now, cat="proto", flow=flow,
-                            args={"src": src, "nbytes": msg.rma_bytes},
-                        )
-                    # Notify the sender to release the registered region.
-                    self.comm.send_am(
-                        dst, src, CONTROL_BYTES, self._release_handle, handle, tag="rel"
-                    )
-                    self.termination.message_delivered(dst)
-                    on_deliver(obj)
-
-                self.rma.get(dst, handle, _on_payload)
-
-            self.comm.send_am(src, dst, msg.eager_bytes, _on_meta, start=send_start, tag=tag)
+            self.comm.send_am(
+                src, dst, msg.eager_bytes,
+                _OnMeta(self, src, dst, meta_bytes, msg.eager_bytes,
+                        msg.rma_bytes, handle, send_start, flow,
+                        meta_name, rma_name, on_deliver),
+                start=send_start, tag=tag)
         else:
             recv_copy = msg.receiver_copy_bytes
             server_time = node.copy_time(recv_copy) if self._copies_block_am_server() else 0.0
-
-            def _on_arrival() -> None:
-                if recv_copy:
-                    self.stats.copies += 1
-                    self.stats.copy_bytes += recv_copy
-
-                def _deliver() -> None:
-                    self.termination.message_delivered(dst)
-                    on_deliver(proto.deserialize(msg))
-
-                if server_time > 0.0:
-                    _deliver()  # copy time already occupied the AM server
-                else:
-                    self.engine.schedule(
-                        node.copy_time(recv_copy) if recv_copy else 0.0,
-                        _deliver, rank=dst)
-
             self.comm.send_am(
                 src,
                 dst,
                 msg.eager_bytes,
-                _on_arrival,
+                _OnArrival(self, dst, proto, msg, recv_copy, server_time,
+                           on_deliver),
                 start=send_start,
                 tag=tag,
                 extra_server_time=server_time,

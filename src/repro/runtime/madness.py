@@ -27,6 +27,10 @@ class MadnessBackend(Backend):
 
     name = "madness"
 
+    # World futures and RMI replies are address-space local; the mp engine
+    # falls back to in-process sharding for this backend.
+    mp_capable = False
+
     def __init__(
         self,
         cluster: Cluster,

@@ -66,18 +66,11 @@ class World:
         """
         obj = self.local(name, dst)
         fut: Future = Future()
-
-        def _invoke() -> None:
-            result = getattr(obj, method)(*args)
-            if src == dst:
-                fut.set(result)
-            else:
-                self.backend.send_control(dst, src, lambda: fut.set(result))
-
+        invoke = _Invoke(self.backend, obj, method, args, fut, src, dst)
         if src == dst:
-            self.backend.post_local(_invoke, rank=dst)
+            self.backend.post_local(invoke, rank=dst)
         else:
-            self.backend.send_control(src, dst, _invoke, nbytes=nbytes)
+            self.backend.send_control(src, dst, invoke, nbytes=nbytes)
         return fut
 
     # --------------------------------------------------------------- tasks
@@ -95,7 +88,7 @@ class World:
         fut: Future = Future()
         self.backend.submit(
             rank,
-            lambda: fut.set(fn(*args)),
+            _FutureTask(fut, fn, args),
             flops=flops,
             bytes_moved=bytes_moved,
             name=name,
@@ -116,6 +109,64 @@ class World:
         if barrier > 0.0:
             # Global drain: deliberately not shard-keyed.
             # shard-safe: unranked-ok
-            self.backend.engine.schedule(barrier, lambda: None)
+            self.backend.engine.schedule(barrier, _noop)
             self.backend.engine.run()
         return self.backend.engine.now
+
+
+def _noop() -> None:
+    """Barrier placeholder event (module-level so heap entries pickle)."""
+
+
+class _Invoke:
+    """Heap record for a World RMI: run the method at ``dst``, route the
+    result back into the caller's future.  World futures are address-space
+    local, so these records only pickle within one process (the MADNESS
+    backend advertises ``mp_capable = False`` accordingly)."""
+
+    __slots__ = ("backend", "obj", "method", "args", "fut", "src", "dst")
+
+    def __init__(self, backend: MadnessBackend, obj: Any, method: str,
+                 args: tuple, fut: Future, src: int, dst: int) -> None:
+        self.backend = backend
+        self.obj = obj
+        self.method = method
+        self.args = args
+        self.fut = fut
+        self.src = src
+        self.dst = dst
+
+    def __call__(self) -> None:
+        result = getattr(self.obj, self.method)(*self.args)
+        if self.src == self.dst:
+            self.fut.set(result)
+        else:
+            self.backend.send_control(self.dst, self.src,
+                                      _SetFuture(self.fut, result))
+
+
+class _SetFuture:
+    """Reply record: land an RMI result in the caller's future."""
+
+    __slots__ = ("fut", "result")
+
+    def __init__(self, fut: Future, result: Any) -> None:
+        self.fut = fut
+        self.result = result
+
+    def __call__(self) -> None:
+        self.fut.set(self.result)
+
+
+class _FutureTask:
+    """Pool-task record: run ``fn(*args)`` and set the future."""
+
+    __slots__ = ("fut", "fn", "args")
+
+    def __init__(self, fut: Future, fn: Callable[..., Any], args: tuple) -> None:
+        self.fut = fut
+        self.fn = fn
+        self.args = args
+
+    def __call__(self) -> None:
+        self.fut.set(self.fn(*self.args))

@@ -323,6 +323,36 @@ class Engine:
         finally:
             self._running = False
 
+    # ------------------------------------------------------------- snapshot
+
+    def dump_state(self) -> dict:
+        """Physical engine state for heap-byte checkpoints (format v2).
+
+        The heap entries themselves are returned live -- the caller
+        (:meth:`repro.durability.Checkpointer.snapshot`) serializes them
+        through the runtime registry so runtime objects pickle by
+        reference.  A list copy of a heap is itself a valid heap.
+        """
+        return {
+            "kind": "seq",
+            "now": self._now,
+            "seq": self._seq,
+            "events": self._events_processed,
+            "heap": list(self._heap),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the engine to a :meth:`dump_state` snapshot."""
+        if state.get("kind") != "seq":
+            raise EngineError(
+                f"engine state kind {state.get('kind')!r} does not match "
+                "this sequential engine"
+            )
+        self._now = state["now"]
+        self._seq = state["seq"]
+        self._events_processed = state["events"]
+        self._heap = list(state["heap"])
+
     def reset(self) -> None:
         """Clear all state; clock back to zero."""
         self._heap.clear()

@@ -30,11 +30,15 @@ paper applications.  The window size is then a pure batching knob: the
 engine grows it adaptively above the lookahead floor when batches run
 small, because safety does not depend on it.
 
-Host-parallel execution (the ``mp`` engine kind) runs *whole simulations*
-in worker processes (:mod:`repro.bench.parallel`): event callbacks are
-closures over shared runtime state and cannot cross a process boundary,
-so the process is the shard at run granularity, and bit-for-bit
-determinism is inherited from the in-process engines.
+Host-parallel execution (the ``mp`` engine kind,
+:class:`repro.sim.mpshard.MpShardedEngine`) takes the sharding across
+*process* boundaries: each worker process owns a strided group of shards,
+tile payloads live in shared-memory segments, events carry canonical
+3-int tags that reproduce the global ``(time, seq)`` order without any
+shared counter, and only window-boundary batches of deferred
+communication descriptors cross the pipes.  Sweep-level parallelism
+(whole simulations in worker processes) remains available separately via
+:mod:`repro.bench.parallel`.
 
 Shard-safety contract: every scheduling call reachable from a send/fire
 path must pass ``rank=`` so the event lands on the owning shard --
@@ -103,6 +107,14 @@ class ShardedEngine(Engine):
         # counting only happens while the hook is set, so the default
         # costs one ``is None`` check per window.
         self.on_window: Optional[Callable[[dict], None]] = None
+        # Early rank-local shutdown: a drained shard whose ranks the
+        # termination ledger reports quiescent is retired from the window
+        # scans until something schedules onto it again (see
+        # :meth:`_retire_quiescent`).  Requires :meth:`bind_runtime`.
+        self._runtime: Any = None
+        self._quiescent: List[bool] = [False] * self.nshards
+        self._nquiescent: int = 0
+        self.windows_skipped_quiescent: int = 0
 
     # --------------------------------------------------------------- binding
 
@@ -117,9 +129,17 @@ class ShardedEngine(Engine):
         if not self._nshards_explicit and nranks > self.nshards:
             self._shards.extend([] for _ in range(nranks - self.nshards))
             self.shard_scheduled.extend([0] * (nranks - self.nshards))
+            self._quiescent.extend([False] * (nranks - self.nshards))
             self.nshards = nranks
         if self.lookahead is None:
             self.lookahead = min_latency
+
+    def bind_runtime(self, backend: Any) -> None:
+        """Bind the owning :class:`~repro.runtime.base.Backend` (called
+        from its constructor).  Gives the engine access to the termination
+        detector's per-rank ledger, which powers early rank-local shutdown
+        of drained shards."""
+        self._runtime = backend
 
     @property
     def shard_clocks(self) -> List[float]:
@@ -154,6 +174,8 @@ class ShardedEngine(Engine):
             self.window_deferred += 1
         else:
             s = rank % self.nshards if rank is not None else 0
+            if self._quiescent[s]:
+                self._wake(s)
             heappush(self._shards[s], (time, seq, ev))
             self.shard_scheduled[s] += 1
         return ev
@@ -165,6 +187,8 @@ class ShardedEngine(Engine):
             self.window_deferred += 1
         else:
             s = rank % self.nshards if rank is not None else 0
+            if self._quiescent[s]:
+                self._wake(s)
             heappush(self._shards[s], entry)
             self.shard_scheduled[s] += 1
 
@@ -184,13 +208,56 @@ class ShardedEngine(Engine):
         return None
 
     def _min_top(self):
-        """Globally next entry across all shard heaps (cancelled skipped)."""
+        """Globally next entry across all shard heaps (cancelled skipped).
+
+        Retired (quiescent) shards are skipped: their heaps are empty by
+        construction, and any schedule onto one wakes it first."""
         best = None
-        for heap in self._shards:
+        quiescent = self._quiescent
+        for s, heap in enumerate(self._shards):
+            if quiescent[s]:
+                continue
             top = self._purge_top(heap)
             if top is not None and (best is None or top < best):
                 best = top
         return best
+
+    # --------------------------------------------- quiescent-shard shutdown
+
+    def _wake(self, s: int) -> None:
+        """Un-retire shard ``s`` (something scheduled onto it again)."""
+        self._quiescent[s] = False
+        self._nquiescent -= 1
+
+    def _retire_quiescent(self) -> None:
+        """Between windows, retire shards that are provably done.
+
+        A shard is retired when its heap is drained *and* every rank it
+        owns is quiescent per the termination detector's per-rank ledger
+        (tasks created == tasks retired on that rank; in-flight messages
+        to a rank are entries in its shard heap, so an empty heap plus a
+        balanced ledger means no pending work can originate there).
+        Retired shards drop out of the per-window heap scans -- the
+        rank-local analogue of the global termination detector's
+        quiescence -- until a cross-rank send schedules onto them again,
+        which wakes them.  Purely a host-cost optimization: event order
+        is untouched, so parity with the ``seq`` engine is preserved.
+        """
+        rt = self._runtime
+        if rt is None or self.nshards < 2:
+            return
+        pending = rt.termination.pending_tasks_by_rank
+        if pending is None:
+            return
+        nranks = len(pending)
+        nshards = self.nshards
+        quiescent = self._quiescent
+        for s, heap in enumerate(self._shards):
+            if quiescent[s] or heap:
+                continue
+            if all(pending[r] == 0 for r in range(s, nranks, nshards)):
+                quiescent[s] = True
+                self._nquiescent += 1
 
     def empty(self) -> bool:
         if self._purge_top(self._incoming) is not None:
@@ -271,7 +338,9 @@ class ShardedEngine(Engine):
                 window_end = t0 + span
                 if until is not None and window_end > until:
                     window_end = until
-                # ---- collect: drain every shard's slice of the window.
+                # ---- collect: drain every active shard's window slice
+                # (retired shards are empty; their scans are skipped).
+                quiescent = self._quiescent
                 batch: List[Tuple[float, int, Any]] = []
                 if on_window is not None:
                     # Per-shard attribution only while profiled: count the
@@ -280,6 +349,8 @@ class ShardedEngine(Engine):
                     def_base = self.window_deferred
                     events_by_shard = [0] * self.nshards
                     for s, heap in enumerate(shards):
+                        if quiescent[s]:
+                            continue
                         drained = 0
                         while heap and heap[0][0] <= window_end:
                             entry = heappop(heap)
@@ -289,12 +360,15 @@ class ShardedEngine(Engine):
                             batch.append(entry)
                         events_by_shard[s] = drained
                 else:
-                    for heap in shards:
+                    for s, heap in enumerate(shards):
+                        if quiescent[s]:
+                            continue
                         while heap and heap[0][0] <= window_end:
                             batch.append(heappop(heap))
                 batch.sort()
                 self._window_end = window_end
                 self.windows_executed += 1
+                self.windows_skipped_quiescent += self._nquiescent
                 m = len(batch)
                 if m > self.max_batch:
                     self.max_batch = m
@@ -332,6 +406,8 @@ class ShardedEngine(Engine):
                                     continue
                                 if max_events is not None and n >= max_events:
                                     tail = payload[j - 1:]
+                                    if quiescent[0]:
+                                        self._wake(0)
                                     heappush(shards[0], (time, tail[0].seq, tail))
                                     return
                                 self._now = time
@@ -342,6 +418,8 @@ class ShardedEngine(Engine):
                                 except BaseException:
                                     tail = payload[j:]
                                     if tail:
+                                        if quiescent[0]:
+                                            self._wake(0)
                                         heappush(shards[0], (time, tail[0].seq, tail))
                                     raise
                         else:
@@ -354,11 +432,14 @@ class ShardedEngine(Engine):
                 finally:
                     # Preserve whatever the window did not execute (early
                     # return on max_events, or an exception unwinding).
+                    if (i < m or incoming) and quiescent[0]:
+                        self._wake(0)
                     for entry in batch[i:]:
                         heappush(shards[0], entry)
                     self._window_end = float("-inf")
                     while incoming:
                         heappush(shards[0], heappop(incoming))
+                self._retire_quiescent()
                 if on_window is not None:
                     on_window(self._window_stats(
                         t0, window_end, m, events_by_shard,
@@ -402,7 +483,64 @@ class ShardedEngine(Engine):
             "events_by_shard": events_by_shard,
             "heap_depths": [len(h) for h in self._shards],
             "clock_skew": (max(tops) - min(tops)) if len(tops) > 1 else 0.0,
+            "quiescent_shards": self._nquiescent,
+            "windows_skipped_quiescent": self.windows_skipped_quiescent,
         }
+
+    # ------------------------------------------------------------- snapshot
+
+    def dump_state(self) -> dict:
+        """Physical engine state (sharded variant of
+        :meth:`repro.sim.engine.Engine.dump_state`).
+
+        Checkpoints fire on conservative-window boundaries, where
+        ``_incoming`` is empty and ``_window_end`` is ``-inf``; both are
+        captured anyway so the snapshot is complete wherever it is taken.
+        """
+        return {
+            "kind": "sharded",
+            "now": self._now,
+            "seq": self._seq,
+            "events": self._events_processed,
+            "nshards": self.nshards,
+            "shards": [list(h) for h in self._shards],
+            "incoming": list(self._incoming),
+            "adaptive": self._adaptive,
+            "shard_scheduled": list(self.shard_scheduled),
+            "windows_executed": self.windows_executed,
+            "window_deferred": self.window_deferred,
+            "max_batch": self.max_batch,
+            "quiescent": list(self._quiescent),
+            "windows_skipped_quiescent": self.windows_skipped_quiescent,
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state.get("kind") != "sharded":
+            raise EngineError(
+                f"engine state kind {state.get('kind')!r} does not match "
+                "this sharded engine"
+            )
+        if state["nshards"] != self.nshards:
+            raise EngineError(
+                f"checkpoint has {state['nshards']} shards, engine has "
+                f"{self.nshards}; resume with the same topology"
+            )
+        self._now = state["now"]
+        self._seq = state["seq"]
+        self._events_processed = state["events"]
+        self._shards = [list(h) for h in state["shards"]]
+        self._incoming = list(state["incoming"])
+        self._window_end = float("-inf")
+        self._adaptive = state["adaptive"]
+        self.shard_scheduled = list(state["shard_scheduled"])
+        self.windows_executed = state["windows_executed"]
+        self.window_deferred = state["window_deferred"]
+        self.max_batch = state["max_batch"]
+        self._quiescent = list(state.get("quiescent",
+                                         [False] * self.nshards))
+        self._nquiescent = sum(self._quiescent)
+        self.windows_skipped_quiescent = state.get(
+            "windows_skipped_quiescent", 0)
 
     def reset(self) -> None:
         super().reset()
@@ -415,6 +553,9 @@ class ShardedEngine(Engine):
         self.windows_executed = 0
         self.window_deferred = 0
         self.max_batch = 0
+        self._quiescent = [False] * self.nshards
+        self._nquiescent = 0
+        self.windows_skipped_quiescent = 0
 
 
 def create_engine(
@@ -429,13 +570,20 @@ def create_engine(
     - ``seq``: the sequential single-heap :class:`Engine`.
     - ``sharded``: :class:`ShardedEngine`; shard count defaults to one per
       rank (bound by the cluster if ``nranks`` is not given here).
-    - ``mp``: the in-process engine is also :class:`ShardedEngine`; host
-      parallelism is applied at run granularity by
-      :mod:`repro.bench.parallel` (see the module docstring for why).
+    - ``mp``: :class:`repro.sim.mpshard.MpShardedEngine`, the
+      shared-nothing multiprocess variant (falls back to in-process
+      sharded execution when a run is ineligible -- see
+      :attr:`MpShardedEngine.mp_fallback_reason`).
     """
     if kind not in ENGINE_KINDS:
         raise ValueError(f"unknown engine kind {kind!r}; known: {ENGINE_KINDS}")
     if kind == "seq":
         return Engine()
+    if kind == "mp":
+        from repro.sim.mpshard import MpShardedEngine
+
+        return MpShardedEngine(
+            nshards=nshards if nshards is not None else nranks,
+            lookahead=lookahead)
     return ShardedEngine(nshards=nshards if nshards is not None else nranks,
                          lookahead=lookahead)

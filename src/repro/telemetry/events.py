@@ -28,7 +28,6 @@ and diagnostic events on their own named lanes in the exported trace.
 
 from __future__ import annotations
 
-import itertools
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
@@ -143,7 +142,10 @@ class EventBus:
         self.dropped: List[int] = []
         self.ensure_ranks(max(1, nranks))
         self._stacks: Dict[Tuple[int, int], List[_OpenSpan]] = {}
-        self._flow_ids = itertools.count(1)
+        # Explicit flow counter (not itertools.count): physical checkpoints
+        # capture/restore it so flow ids of a resumed run match an
+        # uninterrupted one.
+        self._flow_next = 1
         # Streaming subscribers: called with every event as it is recorded
         # (even in capacity=0 metrics-only mode -- a subscriber is a live
         # consumer, not a buffer).  Empty by default: one truthiness check
@@ -169,7 +171,28 @@ class EventBus:
 
     def new_flow(self) -> int:
         """A fresh id linking related spans (exported as a flow arrow)."""
-        return next(self._flow_ids)
+        flow = self._flow_next
+        self._flow_next = flow + 1
+        return flow
+
+    def dump_state(self) -> dict:
+        """Ring/stack/flow state for physical checkpoints (format v2)."""
+        return {
+            "rings": [list(r) for r in self._rings],
+            "dropped": list(self.dropped),
+            "stacks": {k: list(v) for k, v in self._stacks.items()},
+            "flow_next": self._flow_next,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.ensure_ranks(len(state["rings"]))
+        for ring, evs in zip(self._rings, state["rings"]):
+            ring.clear()
+            ring.extend(evs)
+        for r, n in enumerate(state["dropped"]):
+            self.dropped[r] = n
+        self._stacks = {k: list(v) for k, v in state["stacks"].items()}
+        self._flow_next = state["flow_next"]
 
     def subscribe(self, fn: Callable[[Any], None]) -> Callable[[Any], None]:
         """Stream every subsequently recorded event to ``fn``.

@@ -162,6 +162,9 @@ class ShardHealthProfiler:
                     clock_skew=stats.get("clock_skew", 0.0),
                     imbalance=round(
                         imbalance(stats.get("events_by_shard", [])), 4),
+                    quiescent_shards=stats.get("quiescent_shards", 0),
+                    windows_skipped_quiescent=stats.get(
+                        "windows_skipped_quiescent", 0),
                     **({"stall": stall} if stall else {}),
                 )
 

@@ -320,6 +320,8 @@ def engine_health(source: Union[Telemetry, EventBus]) -> Dict[str, Any]:
     skew_peak = 0.0
     batches = 0
     windows = 0
+    quiescent_peak = 0
+    windows_skipped = 0
     for ev in _bus_of(source).instants("engine"):
         if ev.name != "window":
             continue
@@ -327,6 +329,12 @@ def engine_health(source: Union[Telemetry, EventBus]) -> Dict[str, Any]:
         widths.append((ev.ts, float(ev.args.get("width", 0.0))))
         batches += int(ev.args.get("batch", 0))
         skew_peak = max(skew_peak, float(ev.args.get("clock_skew", 0.0)))
+        quiescent_peak = max(quiescent_peak,
+                             int(ev.args.get("quiescent_shards", 0)))
+        # A running total on every instant; the newest one wins.
+        windows_skipped = max(
+            windows_skipped,
+            int(ev.args.get("windows_skipped_quiescent", 0)))
         if "stall" in ev.args:
             stalls[str(ev.args["stall"])] += 1
         shard_events = ev.args.get("events_by_shard") or []
@@ -343,6 +351,8 @@ def engine_health(source: Union[Telemetry, EventBus]) -> Dict[str, Any]:
         "stalls": dict(stalls),
         "clock_skew_peak": skew_peak,
         "mean_batch": batches / windows,
+        "quiescent_shards_peak": quiescent_peak,
+        "windows_skipped_quiescent": windows_skipped,
     }
 
 
@@ -568,6 +578,13 @@ def render_report(
             f"mean batch {health['mean_batch']:.1f} events, clock-skew "
             f"peak {health['clock_skew_peak'] * 1e6:.2f} us</p>"
         ]
+        if health.get("windows_skipped_quiescent"):
+            body.append(
+                f'<p class="meta">early rank-local shutdown &mdash; '
+                f'{health["windows_skipped_quiescent"]} shard-window '
+                f"scans skipped ({health['quiescent_shards_peak']} "
+                f"shard(s) retired at peak)</p>"
+            )
         if health["widths"]:
             body.append(
                 f'<span class="spark">window width over sim-time<br>'

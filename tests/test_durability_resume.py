@@ -70,8 +70,28 @@ def test_crash_resume_parity(tmp_path, app, engine):
     chain = load_chain(str(tmp_path), run_id_for(spec))
     assert chain.checkpoints, "crash before the first checkpoint"
     result = resume_run(str(tmp_path), run_id_for(spec))
-    assert result.verified >= 1
+    # format v2: the newest checkpoint carries physical heap bytes, so
+    # the prefix replay is skipped entirely instead of re-verified
+    assert result.restored
+    assert result.restored_events >= 1
+    assert result.verified == 0
     assert result.written >= 1  # the run continued past the chain
+    assert not result.problems
+    assert _core(result.record) == control
+
+
+@pytest.mark.parametrize("engine", ["seq", "sharded"])
+def test_verify_replay_fallback(tmp_path, engine):
+    """``verify=True`` (CLI ``--verify``) forces the full prefix replay
+    even when physical heap bytes are available, re-attesting every
+    stored checkpoint -- and still lands on the identical record."""
+    spec, every = _spec("mra", engine)
+    control = _core(measure_cell(dict(spec)))
+    _crash(spec, every, str(tmp_path))
+    result = resume_run(str(tmp_path), run_id_for(spec), verify=True)
+    assert not result.restored and result.restored_events == 0
+    assert result.verified >= 1
+    assert result.written >= 1
     assert not result.problems
     assert _core(result.record) == control
 
@@ -98,10 +118,16 @@ def test_resume_of_completed_run_is_idempotent(tmp_path):
     control = _core(measure_cell(dict(spec, checkpoint_dir=str(tmp_path),
                                       checkpoint_every=every)))
     stored = len(load_chain(str(tmp_path), run_id_for(spec)).checkpoints)
-    result = resume_run(str(tmp_path), run_id_for(spec))
+    result = resume_run(str(tmp_path), run_id_for(spec), verify=True)
     # every stored checkpoint re-attested, nothing new written
     assert result.verified == stored
     assert result.written == 0
+    assert _core(result.record) == control
+    # the physical path restores straight to the terminal (drain)
+    # checkpoint and re-attests that cursor; record parity still holds
+    result = resume_run(str(tmp_path), run_id_for(spec))
+    assert result.restored
+    assert result.verified == 0 and result.written == 1
     assert _core(result.record) == control
 
 
@@ -113,7 +139,7 @@ def test_resume_rejects_mismatched_config(tmp_path):
         resume_run(str(tmp_path), run_id_for(spec), spec=wrong)
     # the matching spec is accepted
     result = resume_run(str(tmp_path), run_id_for(spec), spec=dict(spec))
-    assert result.verified >= 1
+    assert result.restored or result.verified >= 1
 
 
 def test_resume_unknown_run_fails_loudly(tmp_path):

@@ -1,0 +1,323 @@
+"""Shared-nothing multiprocess engine: parity, engagement, fallback,
+result delivery, and shared-memory hygiene.
+
+The determinism claim of :mod:`repro.sim.mpshard` is asserted at full
+strength here, mirroring ``test_engine_parity`` for the in-process
+engines: run stats, per-template task counts, tracer task/message
+records, and canonical sanitizer findings must be *identical* to the
+sequential engine -- and the runs must actually have executed
+multiprocess (``mp_windows > 0``, no silent fallback), because a parity
+test that quietly compared the fallback path against itself would prove
+nothing.
+"""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import core as ttg
+from repro.runtime import ParsecBackend
+from repro.sim import Cluster, HAWK, Tracer
+from repro.sim.mpshard import MpShardedEngine
+
+
+def _mp_available() -> bool:
+    """True if this host can fork workers and create shm segments."""
+    import multiprocessing as mp
+
+    if "fork" not in mp.get_all_start_methods():
+        return False
+    try:
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(create=True, size=16)
+        seg.close()
+        seg.unlink()
+    except (OSError, PermissionError):
+        return False
+    return True
+
+
+pytestmark = pytest.mark.skipif(
+    not _mp_available(),
+    reason="fork or shared memory unavailable in this sandbox")
+
+
+def _run(app, kind, nranks, trace=False):
+    """One simulated run; returns everything comparable plus the engine."""
+    tracer = Tracer() if trace else None
+    cluster = Cluster.with_engine(HAWK.with_workers(4), nranks, engine=kind)
+    backend = ParsecBackend(cluster, tracer=tracer)
+    if app == "potrf":
+        from repro.apps.cholesky import cholesky_ttg
+        from repro.bench.history import SeededBlockCyclic
+        from repro.linalg import TiledMatrix
+
+        a = TiledMatrix(768, 128, SeededBlockCyclic.for_ranks(nranks, 0),
+                        synthetic=True)
+        res = cholesky_ttg(a, backend)
+    elif app == "fw":
+        from repro.apps.floydwarshall import floyd_warshall_ttg
+        from repro.bench.history import SeededBlockCyclic
+        from repro.linalg import TiledMatrix
+
+        w = TiledMatrix(512, 128, SeededBlockCyclic.for_ranks(nranks, 0),
+                        synthetic=True)
+        res = floyd_warshall_ttg(w, backend)
+    elif app == "bspmm":
+        from repro.apps.bspmm import bspmm_ttg
+        from repro.linalg import yukawa_blocksparse
+
+        a = yukawa_blocksparse(15, target_tile=24, seed=0)
+        res = bspmm_ttg(a, a, backend)
+    elif app == "mra":
+        from repro.apps.mra import mra_ttg, random_gaussians
+
+        res = mra_ttg(random_gaussians(4, seed=0), backend, k=4,
+                      thresh=1.0e-4, max_level=5)
+    else:  # pragma: no cover
+        raise ValueError(app)
+    return {
+        "stats": backend.stats.as_dict(),
+        "makespan": res.makespan,
+        "task_counts": dict(res.task_counts),
+        "tasks": None if tracer is None else tracer.tasks,
+        "messages": None if tracer is None else tracer.messages,
+        "engine": cluster.engine,
+    }
+
+
+def _assert_engaged(engine):
+    """The run really went multiprocess -- no silent fallback."""
+    assert isinstance(engine, MpShardedEngine)
+    assert engine.mp_fallback_reason is None, engine.mp_fallback_reason
+    assert engine.mp_windows > 0
+
+
+@pytest.mark.parametrize("nranks", [4, 16])
+@pytest.mark.parametrize("app", ["potrf", "fw", "bspmm", "mra"])
+def test_mp_matches_sequential(app, nranks):
+    seq = _run(app, "seq", nranks)
+    mp_ = _run(app, "mp", nranks)
+    _assert_engaged(mp_["engine"])
+    assert mp_["makespan"] == seq["makespan"]
+    assert mp_["stats"] == seq["stats"]
+    assert mp_["task_counts"] == seq["task_counts"]
+
+
+@pytest.mark.parametrize("app", ["potrf", "fw"])
+def test_mp_trace_records_identical(app):
+    seq = _run(app, "seq", 4, trace=True)
+    mp_ = _run(app, "mp", 4, trace=True)
+    _assert_engaged(mp_["engine"])
+    assert mp_["tasks"] == seq["tasks"]
+    assert mp_["messages"] == seq["messages"]
+
+
+def test_mp_bench_records_identical():
+    from repro.bench.history import measure_fw
+
+    a = measure_fw(0, engine="seq").as_dict()
+    b = measure_fw(0, engine="mp").as_dict()
+    for skip in ("host_seconds", "engine", "git_sha"):
+        a.pop(skip), b.pop(skip)
+    assert a == b
+
+
+def test_mp_quiescent_shards_skip_windows():
+    # At 16 ranks the tail of the schedule drains most shards early; the
+    # coordinator must stop waking workers whose horizon is past the
+    # window, and account for it in the health counter.
+    mp_ = _run("fw", "mp", 16)
+    _assert_engaged(mp_["engine"])
+    assert mp_["engine"].mp_windows_skipped > 0
+    assert (mp_["engine"].windows_skipped_quiescent
+            >= mp_["engine"].mp_windows_skipped)
+
+
+# ------------------------------------------------------ sanitizer parity
+
+
+def _faulty_findings(kind):
+    def _noop(key, *args):
+        pass
+
+    e = ttg.Edge("ab", key_type=int, value_type=int)
+    sink = ttg.make_tt(_noop, [e], [], name="SINK", keymap=lambda k: 0)
+
+    def gen_body(key, outs):
+        outs.send(0, 5, 1)
+        outs.send(0, 5, 2)  # duplicate delivery: SAN001
+
+    gen = ttg.make_tt(gen_body, [], [e], name="GEN", keymap=lambda k: 0)
+    backend = ParsecBackend(Cluster.with_engine(HAWK, 2, engine=kind))
+    ex = ttg.TaskGraph([gen, sink]).executable(backend, sanitize=True)
+    ex.invoke(gen, 0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        ex.fence()
+    from repro.analysis.sanitizer import canonical_findings
+
+    return [(f.rule.id, f.location, f.message)
+            for f in canonical_findings(ex.sanitizer.findings)]
+
+
+def test_mp_sanitizer_findings_identical():
+    seq = _faulty_findings("seq")
+    mp_ = _faulty_findings("mp")
+    assert seq  # the fault was detected at all
+    assert mp_ == seq
+
+
+# ------------------------------------------------- fallback equivalence
+
+
+def test_mp_forced_fallback_is_equivalent_and_reported():
+    # An observer hook makes the run ineligible: it must fall back to the
+    # in-process sharded path, say why, and still match seq bit-for-bit.
+    from repro.apps.floydwarshall import floyd_warshall_ttg
+    from repro.bench.history import SeededBlockCyclic
+    from repro.linalg import TiledMatrix
+
+    seq = _run("fw", "seq", 4)
+    cluster = Cluster.with_engine(HAWK.with_workers(4), 4, engine="mp")
+    cluster.engine.on_heartbeat = lambda *a: None
+    backend = ParsecBackend(cluster)
+    w = TiledMatrix(512, 128, SeededBlockCyclic.for_ranks(4, 0),
+                    synthetic=True)
+    res = floyd_warshall_ttg(w, backend)
+    assert cluster.engine.mp_fallback_reason is not None
+    assert cluster.engine.mp_windows == 0
+    assert res.makespan == seq["makespan"]
+    assert backend.stats.as_dict() == seq["stats"]
+
+
+def test_mp_single_worker_topology_falls_back():
+    eng = MpShardedEngine(nshards=1, lookahead=1.0)
+    try:
+        assert eng._mp_ineligible(None, None) is not None
+    finally:
+        eng._release_arena()
+
+
+# ---------------------------------------------------- result delivery
+
+
+def test_mp_result_journal_delivers_factor():
+    # Execute-mode Cholesky: result tiles are stored by simulated tasks
+    # running inside worker processes; the journal must make them visible
+    # to the caller, numerically identical to the in-process run.
+    from repro.apps.cholesky import cholesky_ttg
+    from repro.linalg import TiledMatrix
+    from repro.linalg.tiled_matrix import BlockCyclicDistribution
+
+    rng = np.random.default_rng(0)
+    m = rng.standard_normal((256, 256))
+    spd = m @ m.T + 256 * np.eye(256)
+
+    def factor(kind):
+        cluster = Cluster.with_engine(HAWK.with_workers(4), 4, engine=kind)
+        backend = ParsecBackend(cluster)
+        a = TiledMatrix.from_dense(spd, 64,
+                                   BlockCyclicDistribution.for_ranks(4),
+                                   lower_only=True)
+        res = cholesky_ttg(a, backend)
+        return res.L.to_dense(), cluster.engine
+
+    l_seq, _ = factor("seq")
+    l_mp, engine = factor("mp")
+    _assert_engaged(engine)
+    assert np.array_equal(l_mp, l_seq)
+    assert np.allclose(np.tril(l_mp), np.linalg.cholesky(spd))
+
+
+# -------------------------------------------------------- shm hygiene
+
+
+def _leak_check_run(kill=False):
+    """Run fw on mp; returns (engine, run_id, leaked segment names)."""
+    from repro.apps.floydwarshall import floyd_warshall_ttg
+    from repro.bench.history import SeededBlockCyclic
+    from repro.linalg import TiledMatrix, shm
+
+    cluster = Cluster.with_engine(HAWK.with_workers(4), 4, engine="mp")
+    engine = cluster.engine
+    run_id = engine._arena.run_id
+    backend = ParsecBackend(cluster)
+    if kill:
+        # Dies only inside a forked worker; a no-op in the parent, so the
+        # post-abort in-process fallback completes the run normally.
+        engine.schedule_at(0.0, _exit_if_child, os.getpid(), rank=1)
+    w = TiledMatrix(512, 128, SeededBlockCyclic.for_ranks(4, 0),
+                    synthetic=True)
+    floyd_warshall_ttg(w, backend)
+    return engine, run_id, shm.list_run_segments(run_id)
+
+
+def _exit_if_child(parent_pid):
+    if os.getpid() != parent_pid:
+        os._exit(3)
+
+
+def test_mp_no_leaked_segments_after_run():
+    engine, run_id, leaked = _leak_check_run()
+    _assert_engaged(engine)
+    assert engine._arena is None
+    assert leaked == []
+
+
+def test_mp_no_leaked_segments_after_worker_crash():
+    engine, run_id, leaked = _leak_check_run(kill=True)
+    # The crash aborted the multiprocess attempt; the fallback finished
+    # the run and the arena sweep still reclaimed every segment --
+    # including those created by the dead worker.
+    assert engine.mp_fallback_reason is not None
+    assert "died" in engine.mp_fallback_reason
+    assert leaked == []
+
+
+def test_mp_arena_released_even_when_constructed_unused():
+    eng = MpShardedEngine(nshards=4, lookahead=1.0)
+    from repro.linalg import shm
+
+    run_id = eng._arena.run_id
+    arr = shm.alloc_array((64, 64))  # goes through the active arena
+    arr[0, 0] = 7.0
+    eng._release_arena()
+    assert shm.active_arena() is None
+    assert shm.list_run_segments(run_id) == []
+    assert arr[0, 0] == 7.0  # live views survive the unlink
+
+
+def test_mp_unreleased_arena_swept_at_interpreter_exit():
+    # A driver that constructs an engine, allocates tiles, and then dies
+    # before run() (e.g. an exception while building the graph) never
+    # reaches the finally-release.  Segments are untracked from the
+    # resource tracker by design, so the atexit sweep is the only thing
+    # standing between that script and permanently leaked /dev/shm names.
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parent.parent / "src"
+    script = (
+        "from repro.sim.mpshard import MpShardedEngine\n"
+        "from repro.linalg import shm\n"
+        "eng = MpShardedEngine(nshards=4, lookahead=1.0)\n"
+        "arr = shm.alloc_array((64, 64))\n"
+        "assert shm.list_run_segments(eng._arena.run_id), 'no segment made'\n"
+        "print(eng._arena.run_id)\n"
+        "raise SystemExit(0)  # exit without ever calling run()\n"
+    )
+    env = dict(os.environ, PYTHONPATH=str(src))
+    proc = subprocess.run([sys.executable, "-c", script],
+                          capture_output=True, text=True, env=env,
+                          timeout=60)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    run_id = proc.stdout.strip().splitlines()[-1]
+
+    from repro.linalg import shm
+
+    assert shm.list_run_segments(run_id) == []
